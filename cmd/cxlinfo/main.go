@@ -1,0 +1,116 @@
+// Command cxlinfo enumerates the simulated CXL hierarchy and machine
+// topology, in the spirit of `cxl list` + `numactl --hardware` on the
+// paper's Setup #1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/topology"
+)
+
+// c0pre fetches core 0 or dies (display tool).
+func c0pre(m *topology.Machine) topology.Core {
+	c, err := m.Core(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cxlinfo: ")
+	setup2 := flag.Bool("setup2", false, "describe Setup #2 instead of Setup #1")
+	flag.Parse()
+
+	if *setup2 {
+		m, err := topology.Setup2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(m.Describe())
+		return
+	}
+
+	m, card, err := topology.Setup1(topology.Setup1Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Describe())
+	fmt.Println()
+
+	n2, err := m.Node(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := cxl.Hierarchy{Ports: []*cxl.RootPort{n2.Port}, Windows: []cxl.MemWindow{n2.Window}}
+	fmt.Print(h.Describe())
+	fmt.Println()
+
+	fmt.Println("prototype:", card)
+	fmt.Printf("  link raw peak:       %s\n", card.TheoreticalLinkPeak())
+	fmt.Printf("  link effective cap:  %s\n", card.EffectiveCap())
+	fmt.Printf("  media profile:       read %s, write %s, idle %s\n",
+		card.Media().Profile().ReadPeak, card.Media().Profile().WritePeak, card.Media().Profile().IdleLatency)
+	sig, err := card.ExecIO(fpga.CmdIdent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bat, err := card.ExecIO(fpga.CmdBatteryStatus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  user-streaming ident: %#x, battery: %d\n", sig, bat)
+
+	idRaw, status := card.Mailbox().Execute(cxl.OpIdentifyMemDevice, nil)
+	if status != cxl.MboxSuccess {
+		log.Fatalf("mailbox identify: %v", status)
+	}
+	id, err := cxl.DecodeIdentity(idRaw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hRaw, status := card.Mailbox().Execute(cxl.OpGetHealthInfo, nil)
+	if status != cxl.MboxSuccess {
+		log.Fatalf("mailbox health: %v", status)
+	}
+	health, err := cxl.DecodeHealth(hRaw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  mailbox identify:     fw %s, %d B HDM, persistent=%v\n", id.FirmwareRev, id.TotalCap, id.Persistent)
+	fmt.Printf("  mailbox health:       media-ok=%v battery-ok=%v poisoned=%d\n", health.MediaOK, health.BatteryOK, health.PoisonedLines)
+
+	fmt.Println("\nloaded latency, core 0 -> CXL node (Copy mix):")
+	eng := perf.New(m)
+	curve, err := eng.LatencyBandwidthCurve(c0pre(m), 2, perf.Mix{ReadFrac: 0.5}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range curve {
+		fmt.Printf("  offered %8.2f GB/s -> %s\n", pt.Offered.GBps(), pt.Latency)
+	}
+
+	fmt.Println("\naccess latencies (core 0):")
+	c0, err := m.Core(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range m.Nodes {
+		lat, err := m.AccessLatency(c0, n.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path, err := m.Path(c0, n.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  node%d (%s): %s via %s\n", n.ID, n.Kind, lat, path)
+	}
+}

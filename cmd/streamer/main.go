@@ -1,0 +1,181 @@
+// Command streamer is the paper's released tool (§1.4): it regenerates
+// every figure and table of the evaluation over the simulated setups.
+//
+// Usage:
+//
+//	streamer -figure 5        # one figure (5=Scale 6=Add 7=Copy 8=Triad)
+//	streamer -all             # all four figures
+//	streamer -csv             # emit CSV instead of aligned text
+//	streamer -table 1|2|dcpmm # the qualitative/comparison tables
+//	streamer -claims          # check every §4 claim against the data
+//	streamer -dataflow        # Figure 9 data-flow descriptions
+//	streamer -run             # a real STREAM/STREAM-PMem execution
+//	streamer -n 1000000       # array elements for -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cxlpmem/internal/core"
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/stream"
+	"cxlpmem/internal/streamer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamer: ")
+	var (
+		figure   = flag.Int("figure", 0, "regenerate one figure (5-8)")
+		all      = flag.Bool("all", false, "regenerate all figures")
+		csv      = flag.Bool("csv", false, "CSV output for figures")
+		plot     = flag.Bool("plot", false, "ASCII plots for figures")
+		table    = flag.String("table", "", "print a table: 1, 2 or dcpmm")
+		claims   = flag.Bool("claims", false, "check the paper's §4 claims")
+		dataflow = flag.Bool("dataflow", false, "print Figure 9 data flows")
+		run      = flag.Bool("run", false, "execute a real STREAM + STREAM-PMem run")
+		n        = flag.Int("n", 1_000_000, "array elements for -run")
+		threads  = flag.Int("threads", 10, "threads for -run (1-10, socket 0)")
+	)
+	flag.Parse()
+
+	h, err := streamer.NewHarness()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	did := false
+	emit := func(f *streamer.Figure) {
+		switch {
+		case *csv:
+			fmt.Print(f.RenderCSV())
+		case *plot:
+			fmt.Print(f.RenderPlots(60, 14))
+		default:
+			fmt.Println(f.RenderText())
+		}
+	}
+	if *figure != 0 {
+		f, err := h.Figure(*figure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(f)
+		did = true
+	}
+	if *all {
+		figs, err := h.AllFigures()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range figs {
+			emit(f)
+		}
+		did = true
+	}
+	switch *table {
+	case "":
+	case "1":
+		rows, err := h.S1.Table1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.FormatTable1(rows))
+		did = true
+	case "2":
+		rows, err := h.S1.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.FormatTable2(rows))
+		did = true
+	case "dcpmm":
+		rows, err := h.DCPMMTable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(streamer.FormatDCPMMTable(rows))
+		did = true
+	default:
+		log.Fatalf("unknown table %q (want 1, 2 or dcpmm)", *table)
+	}
+	if *claims {
+		cs, err := h.SummaryClaims()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(streamer.FormatClaims(cs))
+		for _, c := range cs {
+			if !c.Pass {
+				os.Exit(1)
+			}
+		}
+		did = true
+	}
+	if *dataflow {
+		txt, err := h.Dataflows()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(txt)
+		did = true
+	}
+	if *run {
+		if err := realRun(h.S1, *n, *threads); err != nil {
+			log.Fatal(err)
+		}
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// realRun executes STREAM (volatile, local DDR5) and STREAM-PMem (pool
+// on /mnt/pmem2) with genuine data movement and validation.
+func realRun(rt *core.Runtime, n, threads int) error {
+	cores, err := numa.PlaceOnSocket(rt.Machine, 0, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STREAM (volatile, local DDR5, %d threads, %d elements)\n%s\n", threads, n, stream.Header())
+	arr, err := stream.NewVolatileArrays(n)
+	if err != nil {
+		return err
+	}
+	b := &stream.Bench{Engine: rt.Engine, Cores: cores, Node: 0, Mode: perf.MemoryMode}
+	results, err := b.Run(arr, stream.Config{N: n, NTimes: 5})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	fmt.Printf("\nSTREAM-PMem (pmemobj pool on /mnt/pmem2 via CXL, %d threads)\n%s\n", threads, stream.Header())
+	poolSize := int64(n)*3*8 + 4<<20
+	pool, err := rt.CreatePool(2, "stream-run.obj", stream.Layout, poolSize)
+	if err != nil {
+		return err
+	}
+	parr, err := stream.AllocPmemArrays(pool, n)
+	if err != nil {
+		return err
+	}
+	bp := &stream.Bench{Engine: rt.Engine, Cores: cores, Node: 2, Mode: perf.AppDirect}
+	presults, err := bp.Run(parr, stream.Config{N: n, NTimes: 5})
+	if err != nil {
+		return err
+	}
+	for _, r := range presults {
+		fmt.Println(r)
+	}
+	p, pb := pool.Stats().Persists.Load(), pool.Stats().PersistBytes.Load()
+	fmt.Printf("\npool persists: %d (%d bytes); validation passed on both runs\n", p, pb)
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package cxlpmem is a reproduction, as a library, of "CXL Memory as
+// Persistent Memory for Disaggregated HPC: A Practical Approach"
+// (Fridman, Mutalik Desai, Singh, Willhalm, Oren — SC 2023,
+// arXiv:2308.10714).
+//
+// The package re-exports the system's public surface:
+//
+//   - Runtime (NewSetup1/NewSetup2/NewDCPMMReference): the CXL-as-PMem
+//     runtime — machines, /mnt/pmemN mounts, persistent pools in
+//     App-Direct mode and accounted NUMA allocation in Memory Mode.
+//   - Harness (NewHarness): the STREAMer tool regenerating every figure
+//     (5-8) and table of the paper's evaluation.
+//   - The STREAM instruments (Ops, arrays, Bench) and the PMDK-like
+//     persistence layer (pools, transactions, typed arrays).
+//   - The HPC use-case layers: checkpoint/restart and solvers with
+//     exact-state recovery, plus application-level coherency for the
+//     shared-HDM configuration.
+//
+// Everything below runs against a simulated hardware substrate (CXL
+// protocol, FPGA prototype, NUMA fabrics, calibrated bandwidth model);
+// see DESIGN.md for the substitution map and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package cxlpmem
+
+import (
+	"cxlpmem/internal/checkpoint"
+	"cxlpmem/internal/coherency"
+	"cxlpmem/internal/core"
+	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/pmem"
+	"cxlpmem/internal/solver"
+	"cxlpmem/internal/stream"
+	"cxlpmem/internal/streamer"
+	"cxlpmem/internal/topology"
+	"cxlpmem/internal/units"
+)
+
+// Runtime is the CXL-as-PMem runtime (see internal/core).
+type Runtime = core.Runtime
+
+// Setup1Options parameterises the Setup #1 builder.
+type Setup1Options = topology.Setup1Options
+
+// FPGAOptions parameterises the CXL prototype card.
+type FPGAOptions = fpga.Options
+
+// NewSetup1 assembles the paper's Setup #1 (dual Sapphire Rapids with
+// the CXL FPGA prototype, Figure 2).
+func NewSetup1(opts Setup1Options) (*Runtime, error) { return core.NewSetup1(opts) }
+
+// NewSetup2 assembles the paper's Setup #2 (dual Xeon Gold 5215 with
+// on-node DDR4, Figure 3).
+func NewSetup2() (*Runtime, error) { return core.NewSetup2() }
+
+// NewDCPMMReference assembles the Optane DCPMM comparison platform.
+func NewDCPMMReference() (*Runtime, error) { return core.NewDCPMMReference() }
+
+// Harness is the STREAMer benchmarking tool.
+type Harness = streamer.Harness
+
+// NewHarness assembles both setups for figure/table regeneration.
+func NewHarness() (*Harness, error) { return streamer.NewHarness() }
+
+// Pool is a persistent object pool (libpmemobj equivalent).
+type Pool = pmem.Pool
+
+// OID names a persistent object.
+type OID = pmem.OID
+
+// Tx is an undo-log transaction.
+type Tx = pmem.Tx
+
+// Bench runs STREAM against one machine configuration.
+type Bench = stream.Bench
+
+// BenchConfig controls one STREAM run.
+type BenchConfig = stream.Config
+
+// StreamOp is one STREAM kernel.
+type StreamOp = stream.Op
+
+// STREAM kernels in execution order.
+const (
+	Copy  = stream.Copy
+	Scale = stream.Scale
+	Add   = stream.Add
+	Triad = stream.Triad
+)
+
+// Access modes (the paper's two PMem operating modes).
+const (
+	MemoryMode = perf.MemoryMode
+	AppDirect  = perf.AppDirect
+)
+
+// Affinities for thread placement (§3.2 Class 1.c).
+const (
+	Close  = numa.Close
+	Spread = numa.Spread
+)
+
+// CheckpointManager is the chunked incremental C/R directory.
+type CheckpointManager = checkpoint.Manager
+
+// NewCheckpointManager initialises a checkpoint directory in a pool.
+func NewCheckpointManager(p *Pool, slots int) (*CheckpointManager, error) {
+	return checkpoint.New(p, slots)
+}
+
+// OpenCheckpointManager reattaches to an existing directory.
+func OpenCheckpointManager(p *Pool) (*CheckpointManager, error) {
+	return checkpoint.Open(p)
+}
+
+// Jacobi is the checkpointable heat solver.
+type Jacobi = solver.Jacobi
+
+// CG is the conjugate-gradient solver with exact-state recovery.
+type CG = solver.CG
+
+// CoherencyHost is one NUMA node's view of a shared HDM segment.
+type CoherencyHost = coherency.Host
+
+// GBps constructs a bandwidth value.
+func GBps(v float64) units.Bandwidth { return units.GBps(v) }

@@ -1,0 +1,125 @@
+package cxlpmem
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/streamer"
+)
+
+// TestPaperClaimsSummary is the top-level reproduction gate: every §4
+// headline claim must hold on the regenerated data.
+func TestPaperClaimsSummary(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims, err := h.SummaryClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range claims {
+		t.Run(c.ID, func(t *testing.T) {
+			if !c.Pass {
+				t.Errorf("paper: %s\nmeasured: %s", c.Paper, c.Measured)
+			}
+		})
+	}
+}
+
+// TestTable1Properties regenerates Table 1 from the live runtime.
+func TestTable1Properties(t *testing.T) {
+	rt, err := NewSetup1(Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rt.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0].AppDirect, "Non-volatile") {
+		t.Error("App-Direct volatility row wrong")
+	}
+}
+
+// TestTable2Aspects regenerates Table 2.
+func TestTable2Aspects(t *testing.T) {
+	rt, err := NewSetup1(Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rt.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 rows = %d", len(rows))
+	}
+}
+
+// TestFiguresRegenerate smoke-tests all four figure generators through
+// the public API.
+func TestFiguresRegenerate(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := h.AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Groups) != len(streamer.Groups) {
+			t.Errorf("figure %d has %d groups", f.Number, len(f.Groups))
+		}
+	}
+}
+
+// TestPublicAPISurface exercises the re-exported workflow end to end:
+// pool on CXL, transactional update, crash, recovery.
+func TestPublicAPISurface(t *testing.T) {
+	rt, err := NewSetup1(Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rt.CreatePool(2, "api.obj", "api-test", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := pool.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.SetUint64(oid, 0, 12345); err != nil {
+		t.Fatal(err)
+	}
+	pool.SimulateCrash()
+	re, err := rt.OpenPool(2, "api.obj", "api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := re.GetUint64(oid, 0)
+	if err != nil || v != 12345 {
+		t.Errorf("recovered value = %d, %v", v, err)
+	}
+	// Checkpoint manager through the public surface.
+	cp, err := NewCheckpointManager(re, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(1, 0, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpointManager(re); err != nil {
+		t.Fatal(err)
+	}
+	if GBps(1).GBps() != 1 {
+		t.Error("GBps helper")
+	}
+}

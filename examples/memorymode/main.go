@@ -1,0 +1,66 @@
+// Memory Mode: CXL memory as cache-coherent NUMA expansion (paper
+// Class 2). Demonstrates numactl-style binding against the CXL node,
+// capacity accounting, and the close/spread thread-affinity sweep of
+// §3.2 Class 1.c / 2.b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlpmem"
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	rt, err := cxlpmem.NewSetup1(cxlpmem.Setup1Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// numactl --membind=2: allocations land on the CXL node only.
+	a, err := rt.AllocMemoryMode(numa.NewMembind(2), 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("membind=2 allocation: node%d, %d MiB (node usage %d MiB)\n",
+		a.Node.ID, len(a.Data)>>20, rt.NodeUsage(2)>>20)
+
+	// numactl --interleave=0,1,2 spreads consecutive allocations.
+	pol := numa.NewInterleave(0, 1, 2)
+	fmt.Print("interleave=0,1,2 placements:")
+	for i := 0; i < 6; i++ {
+		r, err := rt.Reserve(pol, 1<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" node%d", r.Node.ID)
+	}
+	fmt.Println()
+
+	// Close vs spread sweep against the CXL node (Memory Mode).
+	fmt.Println("\nTriad GB/s vs threads on numa#2 (Memory Mode):")
+	fmt.Printf("%8s %10s %10s\n", "threads", "close", "spread")
+	closeCores, err := numa.PlaceThreads(rt.Machine, 20, numa.Close)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spreadCores, err := numa.PlaceThreads(rt.Machine, 20, numa.Spread)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := rt.Engine.ThreadSweep(closeCores, 2, stream.Triad.Mix(), cxlpmem.MemoryMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss, err := rt.Engine.ThreadSweep(spreadCores, 2, stream.Triad.Mix(), cxlpmem.MemoryMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 1; t <= 20; t++ {
+		fmt.Printf("%8d %10.2f %10.2f\n", t, cs[t-1].GBps(), ss[t-1].GBps())
+	}
+	fmt.Println("\nnote the convergence at 20 threads — paper §4 Class 1.c/2.b")
+}

@@ -1,0 +1,102 @@
+// Shared HDM with application-level coherency — the prototype
+// configuration of paper §2.2: "the same far memory segment can be made
+// available to two distinct NUMA nodes ... the onus of maintaining
+// coherency ... rests with the applications". Two hosts exchange work
+// through one CXL device using a Peterson lock and explicit
+// flush/invalidate.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"cxlpmem/internal/coherency"
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fpga"
+)
+
+func main() {
+	log.SetFlags(0)
+	card, err := fpga.New(fpga.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two HPA windows onto the same media, one per NUMA node.
+	const w0, w1 = uint64(0x10_0000_0000), uint64(0x20_0000_0000)
+	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w0, Size: 1 << 30}); err != nil {
+		log.Fatal(err)
+	}
+	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w1, Size: 1 << 30}); err != nil {
+		log.Fatal(err)
+	}
+	rp0 := cxl.NewRootPort("rp-node0", card.Link())
+	if err := rp0.Attach(card); err != nil {
+		log.Fatal(err)
+	}
+	rp1 := cxl.NewRootPort("rp-node1", card.Link())
+	if err := rp1.Attach(card); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(card)
+	fmt.Printf("window A %#x, window B %#x — same %s media\n", w0, w1, card.HDM().Capacity())
+
+	h0, h1, err := coherency.NewPair(
+		accessor{rp0, int64(w0)}, accessor{rp1, int64(w1)},
+		coherency.Segment{Base: 0, Size: 4096},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two hosts ping-pong a counter 100 times each under the lock.
+	const per = 100
+	var wg sync.WaitGroup
+	work := func(h *coherency.Host) {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			if err := h.Acquire(); err != nil {
+				log.Fatal(err)
+			}
+			var b [8]byte
+			if err := h.Read(b[:], 0); err != nil {
+				log.Fatal(err)
+			}
+			binary.LittleEndian.PutUint64(b[:], binary.LittleEndian.Uint64(b[:])+1)
+			if err := h.Write(b[:], 0); err != nil {
+				log.Fatal(err)
+			}
+			if err := h.Release(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	wg.Add(2)
+	go work(h0)
+	go work(h1)
+	wg.Wait()
+
+	if err := h0.Acquire(); err != nil {
+		log.Fatal(err)
+	}
+	var b [8]byte
+	if err := h0.Read(b[:], 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := h0.Release(); err != nil {
+		log.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint64(b[:])
+	fmt.Printf("shared counter after 2x%d locked increments: %d (no lost updates)\n", per, got)
+	fmt.Printf("device saw %d reads / %d writes over CXL.mem\n",
+		card.Stats().Reads.Load(), card.Stats().Writes.Load()+card.Stats().PartialWrites.Load())
+}
+
+type accessor struct {
+	rp   *cxl.RootPort
+	base int64
+}
+
+func (a accessor) ReadAt(p []byte, off int64) error  { return a.rp.ReadAt(p, a.base+off) }
+func (a accessor) WriteAt(p []byte, off int64) error { return a.rp.WriteAt(p, a.base+off) }

@@ -1,0 +1,99 @@
+package cxlpmem
+
+import (
+	"testing"
+
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/stream"
+	"cxlpmem/internal/topology"
+)
+
+// TestRealDataMatrix executes the full §3.2 class structure with
+// genuine data movement (small arrays): every (mode, target, placement)
+// combination runs the four kernels, validates STREAM's arithmetic and
+// persists through the right stack. This is the integration gate tying
+// numa placement, the perf engine, the pmem layer and the CXL protocol
+// together in one pass.
+func TestRealDataMatrix(t *testing.T) {
+	rt, err := NewSetup1(Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8000
+	type cfg struct {
+		name  string
+		node  topology.NodeID
+		mode  perf.AccessMode
+		place func() ([]topology.Core, error)
+		pmem  bool
+	}
+	cases := []cfg{
+		{"1a-local-pmem0", 0, perf.AppDirect,
+			func() ([]topology.Core, error) { return numa.PlaceOnSocket(rt.Machine, 0, 4) }, true},
+		{"1b-remote-pmem1", 1, perf.AppDirect,
+			func() ([]topology.Core, error) { return numa.PlaceOnSocket(rt.Machine, 0, 4) }, true},
+		{"1b-cxl-pmem2", 2, perf.AppDirect,
+			func() ([]topology.Core, error) { return numa.PlaceOnSocket(rt.Machine, 0, 4) }, true},
+		{"1c-close-pmem2", 2, perf.AppDirect,
+			func() ([]topology.Core, error) { return numa.PlaceThreads(rt.Machine, 20, numa.Close) }, true},
+		{"1c-spread-pmem2", 2, perf.AppDirect,
+			func() ([]topology.Core, error) { return numa.PlaceThreads(rt.Machine, 20, numa.Spread) }, true},
+		{"2a-numa1", 1, perf.MemoryMode,
+			func() ([]topology.Core, error) { return numa.PlaceOnSocket(rt.Machine, 0, 4) }, false},
+		{"2b-numa2-all", 2, perf.MemoryMode,
+			func() ([]topology.Core, error) { return numa.PlaceThreads(rt.Machine, 20, numa.Close) }, false},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cores, err := c.place()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var arr stream.Arrays
+			if c.pmem {
+				pool, err := rt.CreatePool(c.node, "matrix.obj", stream.Layout, int64(n)*3*8+4<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				arr, err = stream.AllocPmemArrays(pool, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				arr, err = stream.NewVolatileArrays(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			b := &stream.Bench{Engine: rt.Engine, Cores: cores, Node: c.node, Mode: c.mode}
+			results, err := b.Run(arr, stream.Config{N: n, NTimes: 2, Seed: int64(i + 1)})
+			if err != nil {
+				t.Fatal(err) // includes STREAM validation failures
+			}
+			if len(results) != 4 {
+				t.Fatalf("results = %d", len(results))
+			}
+			for _, r := range results {
+				if r.BestRate <= 0 {
+					t.Errorf("%s: zero rate", r.Op)
+				}
+			}
+		})
+		// Pool files accumulate per node; remove so the next case can
+		// recreate on the same mount.
+		if c.pmem {
+			mnt, err := rt.MountFor(c.node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mnt.Remove("matrix.obj"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The CXL cases really exercised the endpoint.
+	if rt.Card.Stats().Writes.Load() == 0 {
+		t.Error("matrix never touched the CXL endpoint")
+	}
+}

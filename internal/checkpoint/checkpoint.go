@@ -1,0 +1,428 @@
+// Package checkpoint implements the HPC use case the paper motivates
+// for PMem and positions CXL memory to inherit (§1.2): application
+// diagnostics and checkpoint/restart (C/R) on a persistent, byte-
+// addressable pool. Snapshots are chunked, content-deduplicated against
+// the previous snapshot (incremental checkpointing), CRC-protected, and
+// published atomically through a pmem transaction — a torn checkpoint
+// is never visible after recovery.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"cxlpmem/internal/pmem"
+)
+
+// ChunkSize is the dedup granule.
+const ChunkSize = 4096
+
+// Layout is the pool layout name for checkpoint pools.
+const Layout = "checkpoint-v1"
+
+// directory layout in the root object:
+//
+//	0:8    magic
+//	8:16   slot count (u64)
+//	16:    slots, each 24 bytes: {id u64, descOff u64, size u64}
+//
+// A slot with descOff == 0 is empty. descOff points to a descriptor
+// object: [nChunks u64] then per chunk {off u64, crc u32, pad u32}.
+const (
+	dirMagic   uint64 = 0xC4EC_9012_0001_0001
+	slotSize          = 24
+	dirHeader         = 16
+	descHeader        = 8
+	descEntry         = 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxSlots is the fixed directory capacity: the root object always has
+// room for 64 snapshot slots, so reattaching needs no size negotiation.
+const MaxSlots = 64
+
+// Manager owns a checkpoint directory inside a pool.
+type Manager struct {
+	pool  *pmem.Pool
+	root  pmem.OID
+	slots int
+	// lastReused counts chunks deduplicated by the most recent Save.
+	lastReused int
+}
+
+const dirRootSize = uint64(dirHeader + MaxSlots*slotSize)
+
+// New initialises a fresh checkpoint directory with the given usable
+// slot capacity (at most MaxSlots), or reattaches when one exists with
+// the same capacity.
+func New(pool *pmem.Pool, slots int) (*Manager, error) {
+	if slots <= 0 || slots > MaxSlots {
+		return nil, fmt.Errorf("checkpoint: slot count %d outside 1..%d", slots, MaxSlots)
+	}
+	root, err := pool.Root(dirRootSize)
+	if err != nil {
+		return nil, err
+	}
+	b, err := pool.View(root, dirRootSize)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(b[0:]) == dirMagic {
+		if got := int(binary.LittleEndian.Uint64(b[8:])); got != slots {
+			return nil, fmt.Errorf("checkpoint: directory has %d slots, requested %d", got, slots)
+		}
+		return &Manager{pool: pool, root: root, slots: slots}, nil
+	}
+	// Fresh directory: publish transactionally.
+	err = pool.Update(root, 0, dirRootSize, func(v []byte) error {
+		for i := range v {
+			v[i] = 0
+		}
+		binary.LittleEndian.PutUint64(v[0:], dirMagic)
+		binary.LittleEndian.PutUint64(v[8:], uint64(slots))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{pool: pool, root: root, slots: slots}, nil
+}
+
+// Open reattaches to an existing directory, recovering its capacity
+// from the on-media header.
+func Open(pool *pmem.Pool) (*Manager, error) {
+	root, err := pool.Root(dirRootSize)
+	if err != nil {
+		return nil, err
+	}
+	magic, err := pool.GetUint64(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	if magic != dirMagic {
+		return nil, fmt.Errorf("checkpoint: pool has no checkpoint directory")
+	}
+	stored, err := pool.GetUint64(root, 8)
+	if err != nil {
+		return nil, err
+	}
+	if stored == 0 || stored > MaxSlots {
+		return nil, fmt.Errorf("checkpoint: directory header corrupt (slots=%d)", stored)
+	}
+	return &Manager{pool: pool, root: root, slots: int(stored)}, nil
+}
+
+// slotView returns the 24-byte slot record.
+func (m *Manager) slot(i int) (id, descOff, size uint64, err error) {
+	b, err := m.pool.View(m.root, dirRootSize)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	off := dirHeader + i*slotSize
+	return binary.LittleEndian.Uint64(b[off:]),
+		binary.LittleEndian.Uint64(b[off+8:]),
+		binary.LittleEndian.Uint64(b[off+16:]), nil
+}
+
+// findSlot returns the slot index holding id, or -1.
+func (m *Manager) findSlot(id uint64) (int, error) {
+	for i := 0; i < m.slots; i++ {
+		sid, desc, _, err := m.slot(i)
+		if err != nil {
+			return -1, err
+		}
+		if desc != 0 && sid == id {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// freeSlot returns an empty slot index, or -1.
+func (m *Manager) freeSlot() (int, error) {
+	for i := 0; i < m.slots; i++ {
+		_, desc, _, err := m.slot(i)
+		if err != nil {
+			return -1, err
+		}
+		if desc == 0 {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// Save writes a snapshot under id. Chunks identical (by CRC and
+// content offset) to the previous snapshot prev are reused rather than
+// rewritten; pass prev = 0 for a full checkpoint. The snapshot becomes
+// visible atomically; a crash mid-save leaves the directory untouched.
+func (m *Manager) Save(id uint64, prev uint64, data []byte) error {
+	if id == 0 {
+		return fmt.Errorf("checkpoint: id 0 is reserved")
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("checkpoint: empty snapshot")
+	}
+	if existing, err := m.findSlot(id); err != nil {
+		return err
+	} else if existing >= 0 {
+		return fmt.Errorf("checkpoint: id %d already saved", id)
+	}
+	slot, err := m.freeSlot()
+	if err != nil {
+		return err
+	}
+	if slot < 0 {
+		return fmt.Errorf("checkpoint: all %d slots full; delete one first", m.slots)
+	}
+
+	// Previous descriptor for dedup.
+	var prevChunks []chunkRef
+	if prev != 0 {
+		if prevChunks, _, err = m.loadDescriptor(prev); err != nil {
+			return fmt.Errorf("checkpoint: base snapshot %d: %w", prev, err)
+		}
+	}
+
+	nChunks := (len(data) + ChunkSize - 1) / ChunkSize
+	refs := make([]chunkRef, nChunks)
+	reused := 0
+	for c := 0; c < nChunks; c++ {
+		lo := c * ChunkSize
+		hi := lo + ChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		crc := crc32.Checksum(data[lo:hi], crcTable)
+		if c < len(prevChunks) && prevChunks[c].crc == crc {
+			// Verify content equality, not just CRC, before reuse.
+			pb, err := m.pool.View(pmem.OID{PoolID: m.pool.PoolID(), Off: prevChunks[c].off}, uint64(hi-lo))
+			if err == nil && bytesEqual(pb, data[lo:hi]) {
+				refs[c] = prevChunks[c]
+				reused++
+				continue
+			}
+		}
+		oid, err := m.pool.Alloc(uint64(hi - lo))
+		if err != nil {
+			return err
+		}
+		v, err := m.pool.View(oid, uint64(hi-lo))
+		if err != nil {
+			return err
+		}
+		copy(v, data[lo:hi])
+		if err := m.pool.Persist(oid, uint64(hi-lo)); err != nil {
+			return err
+		}
+		refs[c] = chunkRef{off: oid.Off, crc: crc}
+	}
+	m.pool.Drain()
+	m.lastReused = reused
+
+	// Descriptor object.
+	descSize := uint64(descHeader + nChunks*descEntry)
+	desc, err := m.pool.Alloc(descSize)
+	if err != nil {
+		return err
+	}
+	db, err := m.pool.View(desc, descSize)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(db[0:], uint64(nChunks))
+	for c, r := range refs {
+		e := descHeader + c*descEntry
+		binary.LittleEndian.PutUint64(db[e:], r.off)
+		binary.LittleEndian.PutUint32(db[e+8:], r.crc)
+	}
+	if err := m.pool.Persist(desc, descSize); err != nil {
+		return err
+	}
+	m.pool.Drain()
+
+	// Atomic publish: one transactional slot write.
+	slotOff := uint64(dirHeader + slot*slotSize)
+	return m.pool.Update(m.root, slotOff, slotSize, func(b []byte) error {
+		binary.LittleEndian.PutUint64(b[0:], id)
+		binary.LittleEndian.PutUint64(b[8:], desc.Off)
+		binary.LittleEndian.PutUint64(b[16:], uint64(len(data)))
+		return nil
+	})
+}
+
+type chunkRef struct {
+	off uint64
+	crc uint32
+}
+
+func (m *Manager) loadDescriptor(id uint64) ([]chunkRef, uint64, error) {
+	slot, err := m.findSlot(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if slot < 0 {
+		return nil, 0, fmt.Errorf("checkpoint: no snapshot %d", id)
+	}
+	_, descOff, size, err := m.slot(slot)
+	if err != nil {
+		return nil, 0, err
+	}
+	desc := pmem.OID{PoolID: m.pool.PoolID(), Off: descOff}
+	nb, err := m.pool.View(desc, descHeader)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint64(nb)
+	db, err := m.pool.View(desc, descHeader+n*descEntry)
+	if err != nil {
+		return nil, 0, err
+	}
+	refs := make([]chunkRef, n)
+	for c := range refs {
+		e := descHeader + c*descEntry
+		refs[c] = chunkRef{
+			off: binary.LittleEndian.Uint64(db[e:]),
+			crc: binary.LittleEndian.Uint32(db[e+8:]),
+		}
+	}
+	return refs, size, nil
+}
+
+// Load reads snapshot id, verifying every chunk CRC.
+func (m *Manager) Load(id uint64) ([]byte, error) {
+	refs, size, err := m.loadDescriptor(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	for c, r := range refs {
+		lo := c * ChunkSize
+		hi := lo + ChunkSize
+		if hi > int(size) {
+			hi = int(size)
+		}
+		v, err := m.pool.View(pmem.OID{PoolID: m.pool.PoolID(), Off: r.off}, uint64(hi-lo))
+		if err != nil {
+			return nil, err
+		}
+		if crc32.Checksum(v, crcTable) != r.crc {
+			return nil, fmt.Errorf("checkpoint: snapshot %d chunk %d corrupt", id, c)
+		}
+		copy(out[lo:hi], v)
+	}
+	return out, nil
+}
+
+// List returns the saved snapshot IDs in slot order.
+func (m *Manager) List() ([]uint64, error) {
+	var out []uint64
+	for i := 0; i < m.slots; i++ {
+		id, desc, _, err := m.slot(i)
+		if err != nil {
+			return nil, err
+		}
+		if desc != 0 {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Latest returns the highest saved ID and its data.
+func (m *Manager) Latest() (uint64, []byte, error) {
+	ids, err := m.List()
+	if err != nil {
+		return 0, nil, err
+	}
+	var best uint64
+	for _, id := range ids {
+		if id > best {
+			best = id
+		}
+	}
+	if best == 0 {
+		return 0, nil, fmt.Errorf("checkpoint: no snapshots")
+	}
+	data, err := m.Load(best)
+	return best, data, err
+}
+
+// Delete removes a snapshot's directory entry. Chunk storage shared
+// with other snapshots stays allocated; exclusively owned chunks are
+// freed.
+func (m *Manager) Delete(id uint64) error {
+	slot, err := m.findSlot(id)
+	if err != nil {
+		return err
+	}
+	if slot < 0 {
+		return fmt.Errorf("checkpoint: no snapshot %d", id)
+	}
+	refs, _, err := m.loadDescriptor(id)
+	if err != nil {
+		return err
+	}
+	_, descOff, _, err := m.slot(slot)
+	if err != nil {
+		return err
+	}
+	// Collect chunks referenced by other snapshots.
+	shared := map[uint64]bool{}
+	ids, err := m.List()
+	if err != nil {
+		return err
+	}
+	for _, other := range ids {
+		if other == id {
+			continue
+		}
+		oRefs, _, err := m.loadDescriptor(other)
+		if err != nil {
+			return err
+		}
+		for _, r := range oRefs {
+			shared[r.off] = true
+		}
+	}
+	// Unpublish first (atomic), then reclaim.
+	slotOff := uint64(dirHeader + slot*slotSize)
+	err = m.pool.Update(m.root, slotOff, slotSize, func(b []byte) error {
+		for i := range b {
+			b[i] = 0
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		if !shared[r.off] {
+			if err := m.pool.Free(pmem.OID{PoolID: m.pool.PoolID(), Off: r.off}); err != nil {
+				return err
+			}
+		}
+	}
+	return m.pool.Free(pmem.OID{PoolID: m.pool.PoolID(), Off: descOff})
+}
+
+// Slots returns the directory capacity.
+func (m *Manager) Slots() int { return m.slots }
+
+// LastReused reports how many chunks the most recent Save deduplicated
+// against its base snapshot.
+func (m *Manager) LastReused() int { return m.lastReused }
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

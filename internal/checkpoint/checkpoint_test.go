@@ -1,0 +1,260 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"cxlpmem/internal/pmem"
+)
+
+// memRegion is a persistent in-memory pmem.Region.
+type memRegion struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (r *memRegion) ReadAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("out of range")
+	}
+	copy(p, r.data[off:])
+	return nil
+}
+
+func (r *memRegion) WriteAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("out of range")
+	}
+	copy(r.data[off:], p)
+	return nil
+}
+
+func (r *memRegion) Size() int64      { return int64(len(r.data)) }
+func (r *memRegion) Persistent() bool { return true }
+
+func newManager(t *testing.T, slots int) (*Manager, *pmem.Pool, *memRegion) {
+	t.Helper()
+	r := &memRegion{data: make([]byte, 8<<20)}
+	pool, err := pmem.Create(r, Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pool, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pool, r
+}
+
+func pattern(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = seed + byte(i%251)
+	}
+	return out
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, _, _ := newManager(t, 4)
+	data := pattern(10_000, 1)
+	if err := m.Save(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	ids, err := m.List()
+	if err != nil || len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("List = %v, %v", ids, err)
+	}
+}
+
+func TestIncrementalDedup(t *testing.T) {
+	m, pool, _ := newManager(t, 4)
+	data := pattern(16*ChunkSize, 2)
+	if err := m.Save(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	allocsAfterFull := pool.Stats().Allocs.Load()
+	// Change exactly one chunk and save incrementally.
+	data2 := append([]byte(nil), data...)
+	data2[5*ChunkSize+10] ^= 0xFF
+	if err := m.Save(2, 1, data2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastReused(); got != 15 {
+		t.Errorf("reused %d chunks, want 15", got)
+	}
+	// Only two allocations: one new chunk + one descriptor.
+	if delta := pool.Stats().Allocs.Load() - allocsAfterFull; delta != 2 {
+		t.Errorf("incremental save allocated %d objects, want 2", delta)
+	}
+	// Both snapshots load correctly.
+	g1, err := m.Load(1)
+	if err != nil || !bytes.Equal(g1, data) {
+		t.Error("base snapshot corrupted by incremental save")
+	}
+	g2, err := m.Load(2)
+	if err != nil || !bytes.Equal(g2, data2) {
+		t.Error("incremental snapshot wrong")
+	}
+}
+
+func TestDeleteKeepsSharedChunks(t *testing.T) {
+	m, _, _ := newManager(t, 4)
+	data := pattern(8*ChunkSize, 3)
+	if err := m.Save(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	data2 := append([]byte(nil), data...)
+	data2[0] ^= 1
+	if err := m.Save(2, 1, data2); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the base must not break the incremental snapshot that
+	// shares its chunks.
+	if err := m.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load(2)
+	if err != nil || !bytes.Equal(got, data2) {
+		t.Errorf("shared chunks freed under live snapshot: %v", err)
+	}
+	if err := m.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(2); err == nil {
+		t.Error("deleted snapshot loads")
+	}
+	if err := m.Delete(2); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestSlotExhaustionAndValidation(t *testing.T) {
+	m, _, _ := newManager(t, 2)
+	if err := m.Save(1, 0, pattern(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(2, 0, pattern(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(3, 0, pattern(100, 3)); err == nil {
+		t.Error("save past slot capacity accepted")
+	}
+	if err := m.Save(1, 0, pattern(100, 1)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := m.Save(0, 0, pattern(100, 1)); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if err := m.Save(9, 0, nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if err := m.Save(9, 7, pattern(100, 1)); err == nil {
+		t.Error("missing base accepted")
+	}
+	if _, err := m.Load(99); err == nil {
+		t.Error("missing snapshot loads")
+	}
+	if m.Slots() != 2 {
+		t.Error("Slots")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	m, _, _ := newManager(t, 4)
+	if _, _, err := m.Latest(); err == nil {
+		t.Error("Latest on empty directory accepted")
+	}
+	_ = m.Save(3, 0, pattern(64, 3))
+	_ = m.Save(7, 0, pattern(64, 7))
+	_ = m.Save(5, 0, pattern(64, 5))
+	id, data, err := m.Latest()
+	if err != nil || id != 7 {
+		t.Fatalf("Latest = %d, %v", id, err)
+	}
+	if !bytes.Equal(data, pattern(64, 7)) {
+		t.Error("Latest data wrong")
+	}
+}
+
+func TestSurvivesCrashAndReopen(t *testing.T) {
+	m, pool, region := newManager(t, 4)
+	data := pattern(3*ChunkSize+17, 9)
+	if err := m.Save(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	pool.SimulateCrash()
+
+	pool2, err := pmem.Open(region, Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Slots() != 4 {
+		t.Errorf("slots after reopen = %d", m2.Slots())
+	}
+	got, err := m2.Load(1)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("snapshot lost across crash: %v", err)
+	}
+	// New + same slots also reattaches; different slot count refuses.
+	if _, err := New(pool2, 4); err != nil {
+		t.Errorf("New reattach: %v", err)
+	}
+	if _, err := New(pool2, 8); err == nil {
+		t.Error("New with mismatched slots accepted")
+	}
+}
+
+func TestOpenOnForeignPoolFails(t *testing.T) {
+	r := &memRegion{data: make([]byte, 4<<20)}
+	pool, err := pmem.Create(r, "other-layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pool); err == nil {
+		t.Error("Open on pool without directory accepted")
+	}
+	if _, err := New(pool, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := New(pool, MaxSlots+1); err == nil {
+		t.Error("oversized slots accepted")
+	}
+}
+
+func TestCorruptChunkDetected(t *testing.T) {
+	m, pool, _ := newManager(t, 4)
+	data := pattern(2*ChunkSize, 4)
+	if err := m.Save(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a chunk in place through the descriptor.
+	refs, _, err := m.loadDescriptor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pool.View(pmem.OID{PoolID: pool.PoolID(), Off: refs[0].off}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v[0] ^= 0xFF
+	if _, err := m.Load(1); err == nil {
+		t.Error("corrupt chunk passed CRC")
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/pmem"
+	"cxlpmem/internal/units"
+)
+
+func testCluster(t *testing.T, hosts int) *Cluster {
+	t.Helper()
+	c, err := New(hosts, 64*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterAssembly(t *testing.T) {
+	c := testCluster(t, 4)
+	if len(c.Hosts) != 4 {
+		t.Fatalf("hosts = %d", len(c.Hosts))
+	}
+	if c.TotalPooled() != 256*units.MiB {
+		t.Errorf("pooled = %v", c.TotalPooled())
+	}
+	if c.MLD.Remaining() != 0 {
+		t.Errorf("remaining = %v", c.MLD.Remaining())
+	}
+	// Every host has a trained port and a distinct partition.
+	seen := map[uint64]bool{}
+	for _, h := range c.Hosts {
+		if h.Port.State().String() != "up" {
+			t.Errorf("host %d link down", h.Index)
+		}
+		base, _ := h.LD.Partition()
+		if seen[base] {
+			t.Errorf("partition base %#x reused", base)
+		}
+		seen[base] = true
+	}
+	d := c.Describe()
+	if !strings.Contains(d, "host3") || !strings.Contains(d, "appliance") {
+		t.Errorf("describe:\n%s", d)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(0, units.MiB); err == nil {
+		t.Error("0 hosts accepted")
+	}
+	if _, err := New(17, units.MiB); err == nil {
+		t.Error("17 hosts accepted")
+	}
+	if _, err := New(2, 33); err == nil {
+		t.Error("unaligned capacity accepted")
+	}
+}
+
+func TestHostsAreIsolated(t *testing.T) {
+	c := testCluster(t, 2)
+	h0, h1 := c.Hosts[0], c.Hosts[1]
+	payload := []byte("host0 private")
+	if err := h0.Port.WriteAt(payload, int64(h0.Window.Base)); err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]byte, len(payload))
+	if err := h1.Port.ReadAt(probe, int64(h1.Window.Base)); err != nil {
+		t.Fatal(err)
+	}
+	if string(probe) == string(payload) {
+		t.Error("host1 sees host0's partition")
+	}
+	back := make([]byte, len(payload))
+	if err := h0.Port.ReadAt(back, int64(h0.Window.Base)); err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(payload) {
+		t.Error("host0 lost its own data")
+	}
+}
+
+func TestPersistentPoolOnPooledMemory(t *testing.T) {
+	// The disaggregated use case end to end: a pmemobj pool on a
+	// pooled partition survives the host's power loss (the appliance
+	// is battery-backed once for everyone, §1.4).
+	c := testCluster(t, 2)
+	h := c.Hosts[1]
+	region := &windowRegion{h: h}
+	pool, err := pmem.Create(region, "pooled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.SetUint64(oid, 0, 777); err != nil {
+		t.Fatal(err)
+	}
+	pool.SimulateCrash()
+	re, err := pmem.Open(region, "pooled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := re.GetUint64(oid, 0)
+	if err != nil || v != 777 {
+		t.Errorf("recovered = %d, %v", v, err)
+	}
+}
+
+// windowRegion adapts a host's pooled window to pmem.Region.
+type windowRegion struct {
+	h *Node
+}
+
+func (r *windowRegion) ReadAt(p []byte, off int64) error {
+	return r.h.Port.ReadAt(p, int64(r.h.Window.Base)+off)
+}
+func (r *windowRegion) WriteAt(p []byte, off int64) error {
+	return r.h.Port.WriteAt(p, int64(r.h.Window.Base)+off)
+}
+func (r *windowRegion) Size() int64      { return int64(r.h.Window.Size) }
+func (r *windowRegion) Persistent() bool { return r.h.LD.Media().Persistent() }
+
+func TestScalabilityShape(t *testing.T) {
+	c := testCluster(t, 4)
+	pts, err := c.Scalability(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Aggregate grows (or holds) with host count; per-host never grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Aggregate < pts[i-1].Aggregate-units.GBps(0.01) {
+			t.Errorf("aggregate shrank at k=%d: %v -> %v", i+1, pts[i-1].Aggregate, pts[i].Aggregate)
+		}
+		if pts[i].PerHost > pts[i-1].PerHost+units.GBps(0.01) {
+			t.Errorf("per-host grew at k=%d", i+1)
+		}
+	}
+	// The appliance pipeline caps the aggregate.
+	last := pts[len(pts)-1]
+	if last.Aggregate.GBps() > ApplianceIPCapGBps*1.1 {
+		t.Errorf("aggregate %.1f exceeds appliance cap", last.Aggregate.GBps())
+	}
+	// With 4 hosts the pipeline is contended: per-host well below solo.
+	if last.PerHost >= pts[0].PerHost {
+		t.Error("no contention visible at 4 hosts")
+	}
+}

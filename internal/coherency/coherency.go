@@ -1,0 +1,216 @@
+// Package coherency provides application-level coherency for the
+// prototype's shared-HDM configuration. Paper §2.2: "the same far
+// memory segment can be made available to two distinct NUMA nodes ...
+// However, due to the absence of a unified cache-coherent domain, the
+// onus of maintaining coherency between the two NUMA nodes assigned to
+// the shared far memory rests with the applications leveraging this
+// configuration."
+//
+// A Host holds a write-back cached view of a shared segment. Because
+// the fabric offers plain reads and writes but no cross-host atomics,
+// mutual exclusion uses Peterson's algorithm over three flag words in
+// device memory, with explicit flush (write-back) and invalidate
+// operations around the critical section — exactly the discipline an
+// application on the real prototype would need.
+package coherency
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Accessor is the raw path to the shared device memory (a CXL root
+// port window or the media itself).
+type Accessor interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+}
+
+// Segment layout: a 64-byte control block, then the payload.
+//
+//	0:8   flag[0]
+//	8:16  flag[1]
+//	16:24 turn
+//	24:32 generation counter (bumped on every release)
+const (
+	ctrlSize = 64
+	offFlag0 = 0
+	offFlag1 = 8
+	offTurn  = 16
+	offGen   = 24
+)
+
+// Segment describes one shared region.
+type Segment struct {
+	// Base is the offset of the control block in the accessor's
+	// address space.
+	Base int64
+	// Size is the payload length.
+	Size int64
+}
+
+// Host is one NUMA node's view of the shared segment.
+type Host struct {
+	id      int // 0 or 1
+	acc     Accessor
+	seg     Segment
+	cache   []byte
+	valid   bool
+	holding bool
+	gen     uint64
+}
+
+// NewPair returns the two hosts' views over the same segment through
+// their respective accessors (which may be two different HPA windows
+// of one device). It zeroes the control block.
+func NewPair(acc0, acc1 Accessor, seg Segment) (*Host, *Host, error) {
+	if seg.Size <= 0 {
+		return nil, nil, fmt.Errorf("coherency: non-positive segment size")
+	}
+	if acc0 == nil || acc1 == nil {
+		return nil, nil, fmt.Errorf("coherency: nil accessor")
+	}
+	zero := make([]byte, ctrlSize)
+	if err := acc0.WriteAt(zero, seg.Base); err != nil {
+		return nil, nil, err
+	}
+	h0 := &Host{id: 0, acc: acc0, seg: seg, cache: make([]byte, seg.Size)}
+	h1 := &Host{id: 1, acc: acc1, seg: seg, cache: make([]byte, seg.Size)}
+	return h0, h1, nil
+}
+
+func (h *Host) word(off int64) (uint64, error) {
+	var b [8]byte
+	if err := h.acc.ReadAt(b[:], h.seg.Base+off); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (h *Host) setWord(off int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return h.acc.WriteAt(b[:], h.seg.Base+off)
+}
+
+// Acquire takes the segment lock (Peterson's algorithm over device
+// words) and invalidates the local cache if another host has released
+// the lock since our last acquire, so the next Read observes remote
+// writes.
+func (h *Host) Acquire() error {
+	if h.holding {
+		return fmt.Errorf("coherency: host %d already holds the lock", h.id)
+	}
+	my, other := int64(offFlag0), int64(offFlag1)
+	if h.id == 1 {
+		my, other = offFlag1, offFlag0
+	}
+	if err := h.setWord(my, 1); err != nil {
+		return err
+	}
+	if err := h.setWord(offTurn, uint64(1-h.id)); err != nil {
+		return err
+	}
+	for {
+		of, err := h.word(other)
+		if err != nil {
+			return err
+		}
+		turn, err := h.word(offTurn)
+		if err != nil {
+			return err
+		}
+		if of == 0 || turn == uint64(h.id) {
+			break
+		}
+	}
+	gen, err := h.word(offGen)
+	if err != nil {
+		return err
+	}
+	if gen != h.gen {
+		h.valid = false // someone committed since we last looked
+		h.gen = gen
+	}
+	h.holding = true
+	return nil
+}
+
+// Release writes the cache back to the device, bumps the generation
+// and drops the lock.
+func (h *Host) Release() error {
+	if !h.holding {
+		return fmt.Errorf("coherency: host %d does not hold the lock", h.id)
+	}
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	h.gen++
+	if err := h.setWord(offGen, h.gen); err != nil {
+		return err
+	}
+	my := int64(offFlag0)
+	if h.id == 1 {
+		my = offFlag1
+	}
+	if err := h.setWord(my, 0); err != nil {
+		return err
+	}
+	h.holding = false
+	return nil
+}
+
+// fill loads the payload into the cache.
+func (h *Host) fill() error {
+	if h.valid {
+		return nil
+	}
+	if err := h.acc.ReadAt(h.cache, h.seg.Base+ctrlSize); err != nil {
+		return err
+	}
+	h.valid = true
+	return nil
+}
+
+// Read copies payload bytes [off, off+len(p)) into p through the cache.
+func (h *Host) Read(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > h.seg.Size {
+		return fmt.Errorf("coherency: read outside segment")
+	}
+	if err := h.fill(); err != nil {
+		return err
+	}
+	copy(p, h.cache[off:])
+	return nil
+}
+
+// Write stores p at payload offset off in the cache (write-back: the
+// device sees it at Flush/Release).
+func (h *Host) Write(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > h.seg.Size {
+		return fmt.Errorf("coherency: write outside segment")
+	}
+	if err := h.fill(); err != nil {
+		return err
+	}
+	copy(h.cache[off:], p)
+	return nil
+}
+
+// Flush writes the cached payload back to the device (clwb-equivalent
+// for the whole segment).
+func (h *Host) Flush() error {
+	if !h.valid {
+		return nil
+	}
+	return h.acc.WriteAt(h.cache, h.seg.Base+ctrlSize)
+}
+
+// Invalidate drops the cache; the next Read refetches from the device.
+func (h *Host) Invalidate() { h.valid = false }
+
+// Holding reports lock ownership.
+func (h *Host) Holding() bool { return h.holding }
+
+// ID returns the host index (0 or 1).
+func (h *Host) ID() int { return h.id }

@@ -1,0 +1,213 @@
+package coherency
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/units"
+)
+
+// sharedDevice builds the paper's shared-HDM configuration: one FPGA
+// card with two HPA windows onto the same media, one root port per
+// simulated NUMA node.
+func sharedDevice(t *testing.T) (Accessor, Accessor) {
+	t.Helper()
+	card, err := fpga.New(fpga.Options{ChannelCapacity: 4 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two windows over the same media (paper §2.2).
+	const w0, w1 = 0x10_0000_0000, 0x20_0000_0000
+	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w0, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w1, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	rp0 := cxl.NewRootPort("rp-node0", card.Link())
+	if err := rp0.Attach(card); err != nil {
+		t.Fatal(err)
+	}
+	link2, err := fpga.New(fpga.Options{Name: "dummy"}) // second physical port
+	_ = link2
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp1 := cxl.NewRootPort("rp-node1", card.Link())
+	// A root port holds one endpoint; emulate the second NUMA node's
+	// port by a fresh port over the same link and endpoint.
+	if err := rp1.Attach(card); err != nil {
+		t.Fatal(err)
+	}
+	return &portAccessor{rp: rp0, base: w0}, &portAccessor{rp: rp1, base: w1}
+}
+
+type portAccessor struct {
+	rp   *cxl.RootPort
+	base int64
+}
+
+func (a *portAccessor) ReadAt(p []byte, off int64) error  { return a.rp.ReadAt(p, a.base+off) }
+func (a *portAccessor) WriteAt(p []byte, off int64) error { return a.rp.WriteAt(p, a.base+off) }
+
+func pair(t *testing.T) (*Host, *Host) {
+	t.Helper()
+	a0, a1 := sharedDevice(t)
+	h0, h1, err := NewPair(a0, a1, Segment{Base: 0, Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h0, h1
+}
+
+func TestValidation(t *testing.T) {
+	a0, a1 := sharedDevice(t)
+	if _, _, err := NewPair(nil, a1, Segment{Size: 64}); err == nil {
+		t.Error("nil accessor accepted")
+	}
+	if _, _, err := NewPair(a0, a1, Segment{Size: 0}); err == nil {
+		t.Error("zero segment accepted")
+	}
+	h0, _ := pair(t)
+	if err := h0.Read(make([]byte, 8), 4095); err == nil {
+		t.Error("out-of-segment read accepted")
+	}
+	if err := h0.Write(make([]byte, 8), -1); err == nil {
+		t.Error("negative write accepted")
+	}
+	if err := h0.Release(); err == nil {
+		t.Error("release without acquire accepted")
+	}
+}
+
+func TestWritesInvisibleUntilReleaseThenVisible(t *testing.T) {
+	h0, h1 := pair(t)
+	if err := h0.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if !h0.Holding() || h0.ID() != 0 {
+		t.Error("holding state")
+	}
+	if err := h0.Write([]byte("shared state"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Before release, a reader that already cached the segment sees
+	// stale zeros (no hardware coherency!).
+	stale := make([]byte, 12)
+	if err := h1.Read(stale, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(stale) == "shared state" {
+		t.Error("write leaked before write-back — the model is supposed to be incoherent")
+	}
+	if err := h0.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// A proper acquire invalidates and refetches.
+	if err := h1.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]byte, 12)
+	if err := h1.Read(fresh, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(fresh) != "shared state" {
+		t.Errorf("after acquire = %q", fresh)
+	}
+	if err := h1.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitInvalidate(t *testing.T) {
+	h0, h1 := pair(t)
+	if err := h0.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Write([]byte{42}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// h1 cached earlier; manual invalidate forces a refetch even
+	// without the lock protocol.
+	probe := make([]byte, 1)
+	_ = h1.Read(probe, 100) // warm (stale) cache
+	h1.Invalidate()
+	if err := h1.Read(probe, 100); err != nil {
+		t.Fatal(err)
+	}
+	if probe[0] != 42 {
+		t.Errorf("after invalidate = %d, want 42", probe[0])
+	}
+	if err := h0.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleAcquireRejected(t *testing.T) {
+	h0, _ := pair(t)
+	if err := h0.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Acquire(); err == nil {
+		t.Error("re-acquire accepted")
+	}
+	if err := h0.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	// Two "applications" on the two NUMA nodes increment one shared
+	// counter under the Peterson lock; every increment must survive.
+	h0, h1 := pair(t)
+	const perHost = 50
+	var wg sync.WaitGroup
+	worker := func(h *Host) {
+		defer wg.Done()
+		for i := 0; i < perHost; i++ {
+			if err := h.Acquire(); err != nil {
+				t.Error(err)
+				return
+			}
+			var b [8]byte
+			if err := h.Read(b[:], 0); err != nil {
+				t.Error(err)
+				return
+			}
+			v := binary.LittleEndian.Uint64(b[:])
+			binary.LittleEndian.PutUint64(b[:], v+1)
+			if err := h.Write(b[:], 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := h.Release(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go worker(h0)
+	go worker(h1)
+	wg.Wait()
+
+	if err := h0.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	var b [8]byte
+	if err := h0.Read(b[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(b[:]); got != 2*perHost {
+		t.Errorf("counter = %d, want %d (lost updates)", got, 2*perHost)
+	}
+	if err := h0.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

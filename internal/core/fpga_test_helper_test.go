@@ -1,0 +1,8 @@
+package core
+
+import "cxlpmem/internal/fpga"
+
+// fpgaNoBattery returns prototype options with the battery removed.
+func fpgaNoBattery() fpga.Options {
+	return fpga.Options{NoBattery: true}
+}

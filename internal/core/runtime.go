@@ -1,0 +1,280 @@
+// Package core is the paper's primary contribution as a library: a
+// runtime that lets CXL-attached memory serve as persistent memory for
+// disaggregated HPC, exposing both PMem operating modes over any memory
+// node of a machine (Table 1):
+//
+//   - App-Direct: persistent object pools (internal/pmem) on DAX-style
+//     mounts, where the CXL mount routes every persist through the
+//     CXL.mem protocol to the battery-backed FPGA prototype.
+//   - Memory Mode: cache-coherent NUMA expansion with numactl-style
+//     policies (internal/numa) and accounted capacity.
+//
+// The runtime assembles a topology, enumerates the CXL hierarchy,
+// mounts /mnt/pmem0../mnt/pmemN (one per NUMA node, as in Figures 2 and
+// 9), and hands out pools, allocations and benchmarks against them.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/pmem"
+	"cxlpmem/internal/pmemfs"
+	"cxlpmem/internal/topology"
+	"cxlpmem/internal/units"
+)
+
+// Runtime is an assembled machine with its persistence plumbing.
+type Runtime struct {
+	// Machine is the hardware topology.
+	Machine *topology.Machine
+	// Card is the CXL prototype (nil on machines without one).
+	Card *fpga.Prototype
+	// Engine is the bandwidth model over Machine.
+	Engine *perf.Engine
+	// FS is the /mnt registry.
+	FS *pmemfs.Registry
+
+	mu     sync.Mutex
+	mounts map[topology.NodeID]*pmemfs.Mount
+	// usage tracks Memory-Mode allocations per node.
+	usage map[topology.NodeID]int64
+}
+
+// NewSetup1 assembles the paper's Setup #1: dual SPR + CXL prototype.
+func NewSetup1(opts topology.Setup1Options) (*Runtime, error) {
+	m, card, err := topology.Setup1(opts)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(m, card)
+}
+
+// NewSetup2 assembles the paper's Setup #2: dual Xeon Gold, DDR4 only.
+func NewSetup2() (*Runtime, error) {
+	m, err := topology.Setup2()
+	if err != nil {
+		return nil, err
+	}
+	return assemble(m, nil)
+}
+
+// NewDCPMMReference assembles the Optane comparison platform.
+func NewDCPMMReference() (*Runtime, error) {
+	m, err := topology.DCPMMReference()
+	if err != nil {
+		return nil, err
+	}
+	return assemble(m, nil)
+}
+
+func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
+	rt := &Runtime{
+		Machine: m,
+		Card:    card,
+		Engine:  perf.New(m),
+		FS:      pmemfs.NewRegistry(),
+		mounts:  make(map[topology.NodeID]*pmemfs.Mount),
+		usage:   make(map[topology.NodeID]int64),
+	}
+	for _, n := range m.Nodes {
+		name := fmt.Sprintf("/mnt/pmem%d", n.ID)
+		var acc pmemfs.Accessor
+		var size int64
+		switch n.Kind {
+		case topology.NodeCXL:
+			// The DAX path to CXL memory goes through the root
+			// port: every pool access is CXL.mem traffic.
+			acc = &windowAccessor{port: n.Port, base: int64(n.Window.Base)}
+			size = int64(n.Window.Size)
+		default:
+			acc = n.Device
+			size = n.Device.Capacity().Bytes()
+		}
+		mnt, err := pmemfs.NewMount(name, acc, size, n.Persistent())
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.FS.Add(mnt); err != nil {
+			return nil, err
+		}
+		rt.mounts[n.ID] = mnt
+	}
+	return rt, nil
+}
+
+// windowAccessor adapts a CXL root port + HPA window base to the pmemfs
+// accessor shape.
+type windowAccessor struct {
+	port *cxl.RootPort
+	base int64
+}
+
+func (a *windowAccessor) ReadAt(p []byte, off int64) error { return a.port.ReadAt(p, a.base+off) }
+func (a *windowAccessor) WriteAt(p []byte, off int64) error {
+	return a.port.WriteAt(p, a.base+off)
+}
+
+// MountFor returns the /mnt/pmemN mount of a node.
+func (rt *Runtime) MountFor(id topology.NodeID) (*pmemfs.Mount, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	mnt, ok := rt.mounts[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no mount for node %d", id)
+	}
+	return mnt, nil
+}
+
+// poolRegion adapts a pmemfs file to pmem.Region, forwarding power
+// cycles to the node's media so SimulateCrash behaves correctly per
+// mount (DRAM-emulated pmem dies, battery-backed CXL survives).
+type poolRegion struct {
+	*pmemfs.File
+	dev memdev.Device
+}
+
+func (r *poolRegion) PowerCycle() { r.dev.PowerCycle() }
+
+// CreatePool creates a pmemobj pool file on a node's mount — the
+// pmemobj_create(path, layout, size, mode) call of Listing 2.
+func (rt *Runtime) CreatePool(id topology.NodeID, name, layout string, size int64) (*pmem.Pool, error) {
+	mnt, err := rt.MountFor(id)
+	if err != nil {
+		return nil, err
+	}
+	node, err := rt.Machine.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := mnt.Create(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return pmem.Create(&poolRegion{File: f, dev: node.Device}, layout)
+}
+
+// OpenPool reopens an existing pool file, running recovery — the
+// pmemobj_open path.
+func (rt *Runtime) OpenPool(id topology.NodeID, name, layout string) (*pmem.Pool, error) {
+	mnt, err := rt.MountFor(id)
+	if err != nil {
+		return nil, err
+	}
+	node, err := rt.Machine.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := mnt.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return pmem.Open(&poolRegion{File: f, dev: node.Device}, layout)
+}
+
+// Allocation is a Memory-Mode allocation bound to a node.
+type Allocation struct {
+	// Node the pages landed on.
+	Node *topology.Node
+	// Data is the host view (volatile, as in Memory Mode); nil for
+	// accounting-only reservations made with Reserve.
+	Data []byte
+
+	size int64
+	rt   *Runtime
+}
+
+// Size returns the reserved byte count.
+func (a *Allocation) Size() int64 { return a.size }
+
+// Free returns the capacity to the node.
+func (a *Allocation) Free() {
+	if a.rt == nil {
+		return
+	}
+	a.rt.mu.Lock()
+	a.rt.usage[a.Node.ID] -= a.size
+	a.rt.mu.Unlock()
+	a.rt = nil
+	a.Data = nil
+}
+
+// Reserve performs the placement half of a Memory-Mode allocation: the
+// node is chosen by the numactl-style policy against remaining
+// capacity, and the size is accounted to it. Data stays nil — large
+// reservations (capacity planning, benchmark sweeps) need no host
+// memory. The reserved size is tracked for Free.
+func (rt *Runtime) Reserve(policy *numa.Policy, size int64) (*Allocation, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: non-positive allocation %d", size)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	node, err := policy.Pick(rt.Machine, func(n *topology.Node) bool {
+		return rt.usage[n.ID]+size <= n.Device.Capacity().Bytes()
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.usage[node.ID] += size
+	return &Allocation{Node: node, size: size, rt: rt}, nil
+}
+
+// AllocMemoryMode reserves and materialises a Memory-Mode allocation.
+func (rt *Runtime) AllocMemoryMode(policy *numa.Policy, size int64) (*Allocation, error) {
+	a, err := rt.Reserve(policy, size)
+	if err != nil {
+		return nil, err
+	}
+	a.Data = make([]byte, size)
+	return a, nil
+}
+
+// NodeUsage reports the accounted Memory-Mode bytes on a node.
+func (rt *Runtime) NodeUsage(id topology.NodeID) int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.usage[id]
+}
+
+// CXLNode returns the machine's CXL node, if any.
+func (rt *Runtime) CXLNode() (*topology.Node, bool) {
+	for _, n := range rt.Machine.Nodes {
+		if n.Kind == topology.NodeCXL {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// LocalBandwidth is the modelled full-socket Memory-Mode rate against
+// the machine's node 0 — the "main memory bandwidth" reference used by
+// the mode property table.
+func (rt *Runtime) LocalBandwidth() (units.Bandwidth, error) {
+	cores := rt.Machine.CoresOn(0)
+	r, err := rt.Engine.StreamBandwidth(cores, 0, perf.Mix{ReadFrac: 0.5}, perf.MemoryMode)
+	if err != nil {
+		return 0, err
+	}
+	return r.Total, nil
+}
+
+// CXLBandwidth is the modelled full-socket rate against the CXL node in
+// the given mode.
+func (rt *Runtime) CXLBandwidth(mode perf.AccessMode) (units.Bandwidth, error) {
+	n, ok := rt.CXLNode()
+	if !ok {
+		return 0, fmt.Errorf("core: machine has no CXL node")
+	}
+	cores := rt.Machine.CoresOn(0)
+	r, err := rt.Engine.StreamBandwidth(cores, n.ID, perf.Mix{ReadFrac: 0.5}, mode)
+	if err != nil {
+		return 0, err
+	}
+	return r.Total, nil
+}

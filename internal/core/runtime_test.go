@@ -1,0 +1,320 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/stream"
+	"cxlpmem/internal/topology"
+	"cxlpmem/internal/units"
+)
+
+func setup1(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := NewSetup1(topology.Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRuntimeMounts(t *testing.T) {
+	rt := setup1(t)
+	mounts := rt.FS.Mounts()
+	want := []string{"/mnt/pmem0", "/mnt/pmem1", "/mnt/pmem2"}
+	if len(mounts) != 3 {
+		t.Fatalf("mounts = %v", mounts)
+	}
+	for i, w := range want {
+		if mounts[i] != w {
+			t.Errorf("mount %d = %q, want %q", i, mounts[i], w)
+		}
+	}
+	m2, err := rt.MountFor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Persistent() {
+		t.Error("/mnt/pmem2 (CXL) must be persistent")
+	}
+	m0, err := rt.MountFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Persistent() {
+		t.Error("/mnt/pmem0 (DRAM-emulated) must be volatile")
+	}
+	if _, err := rt.MountFor(9); err == nil {
+		t.Error("missing mount accepted")
+	}
+}
+
+func TestPoolOnCXLRoutesThroughProtocol(t *testing.T) {
+	rt := setup1(t)
+	pool, err := rt.CreatePool(2, "pool.obj", "test-layout", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rt.Card.Stats().Writes.Load() + rt.Card.Stats().PartialWrites.Load()
+	oid, err := pool.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := pool.View(oid, 4096)
+	copy(v, "cxl persistent data")
+	if err := pool.Persist(oid, 4096); err != nil {
+		t.Fatal(err)
+	}
+	after := rt.Card.Stats().Writes.Load() + rt.Card.Stats().PartialWrites.Load()
+	if after <= before {
+		t.Error("persist did not generate CXL.mem writes at the endpoint")
+	}
+}
+
+func TestCXLPoolSurvivesCrashDRAMPoolDoesNot(t *testing.T) {
+	// The paper's practical point (§1.4): the CXL module is battery-
+	// backed and therefore a real PMem; the socket-DRAM "pmem" is an
+	// emulation that cannot survive power loss.
+	rt := setup1(t)
+
+	cxlPool, err := rt.CreatePool(2, "p.obj", "layout", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := cxlPool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := cxlPool.View(oid, 64)
+	copy(v, "diagnostics")
+	if err := cxlPool.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	dramPool, err := rt.CreatePool(0, "p.obj", "layout", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid2, err := dramPool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := dramPool.View(oid2, 64)
+	copy(v2, "diagnostics")
+	if err := dramPool.Persist(oid2, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	cxlPool.SimulateCrash()
+	dramPool.SimulateCrash()
+
+	re, err := rt.OpenPool(2, "p.obj", "layout")
+	if err != nil {
+		t.Fatalf("CXL pool did not survive: %v", err)
+	}
+	got, _ := re.View(oid, 64)
+	if string(got[:11]) != "diagnostics" {
+		t.Error("CXL pool lost data")
+	}
+	if _, err := rt.OpenPool(0, "p.obj", "layout"); err == nil {
+		t.Error("DRAM-emulated pool survived power loss")
+	}
+}
+
+func TestStreamPmemOnCXLEndToEnd(t *testing.T) {
+	// Full paper pipeline: pool on /mnt/pmem2, STREAM-PMem arrays,
+	// kernels, validation, persistence — all through the CXL stack.
+	rt := setup1(t)
+	pool, err := rt.CreatePool(2, "stream.obj", stream.Layout, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := stream.AllocPmemArrays(pool, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores, err := numa.PlaceOnSocket(rt.Machine, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stream.Bench{Engine: rt.Engine, Cores: cores, Node: 2, Mode: perf.AppDirect}
+	results, err := b.Run(arr, stream.Config{NTimes: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatal("missing results")
+	}
+	if rt.Card.Stats().Writes.Load() == 0 {
+		t.Error("no CXL traffic for a CXL-target run")
+	}
+}
+
+func TestMemoryModeAllocationAccounting(t *testing.T) {
+	rt := setup1(t)
+	pol := numa.NewMembind(2)
+	a, err := rt.AllocMemoryMode(pol, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node.ID != 2 || len(a.Data) != 1<<20 {
+		t.Errorf("allocation = node %d, %d bytes", a.Node.ID, len(a.Data))
+	}
+	if got := rt.NodeUsage(2); got != 1<<20 {
+		t.Errorf("usage = %d", got)
+	}
+	a.Free()
+	if got := rt.NodeUsage(2); got != 0 {
+		t.Errorf("usage after free = %d", got)
+	}
+	a.Free() // idempotent
+	if _, err := rt.AllocMemoryMode(pol, 0); err == nil {
+		t.Error("zero-size accepted")
+	}
+	// Membind refuses when the node is exhausted (reservation only,
+	// no host memory materialised).
+	if _, err := rt.Reserve(pol, 32<<40); err == nil {
+		t.Error("overcommit accepted under membind")
+	}
+	// Preferred falls back to another node instead.
+	huge := int64(20) << 30 // larger than the 16GiB CXL HDM
+	b, err := rt.Reserve(numa.NewPreferred(2), huge)
+	if err != nil {
+		t.Fatalf("preferred fallback failed: %v", err)
+	}
+	if b.Node.ID == 2 {
+		t.Error("preferred landed on a node without capacity")
+	}
+	if b.Size() != huge || b.Data != nil {
+		t.Error("reservation shape wrong")
+	}
+	b.Free()
+	if got := rt.NodeUsage(b.Node.ID); got != 0 {
+		t.Errorf("usage after reservation free = %d", got)
+	}
+}
+
+func TestCXLNodeLookup(t *testing.T) {
+	rt := setup1(t)
+	n, ok := rt.CXLNode()
+	if !ok || n.ID != 2 {
+		t.Errorf("CXLNode = %v, %v", n, ok)
+	}
+	rt2, err := NewSetup2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt2.CXLNode(); ok {
+		t.Error("Setup2 reported a CXL node")
+	}
+	if _, err := rt2.CXLBandwidth(perf.MemoryMode); err == nil {
+		t.Error("CXLBandwidth on Setup2 accepted")
+	}
+}
+
+func TestBandwidthHelpers(t *testing.T) {
+	rt := setup1(t)
+	local, err := rt.LocalBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxlMM, err := rt.CXLBandwidth(perf.MemoryMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxlAD, err := rt.CXLBandwidth(perf.AppDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(local > cxlMM && cxlMM > cxlAD) {
+		t.Errorf("ordering: local %v > cxl-mm %v > cxl-ad %v violated", local, cxlMM, cxlAD)
+	}
+	_ = units.GBps // anchor
+}
+
+func TestTable1FromRuntime(t *testing.T) {
+	rt := setup1(t)
+	rows, err := rt.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (paper Table 1)", len(rows))
+	}
+	if rows[0].Property != "Volatility" {
+		t.Error("first row should be volatility")
+	}
+	if !strings.Contains(rows[0].AppDirect, "Non-volatile") {
+		t.Errorf("battery-backed card should be non-volatile in App-Direct: %q", rows[0].AppDirect)
+	}
+	if !strings.Contains(rows[4].MemoryMode, "below main memory bandwidth") {
+		t.Errorf("performance row = %q", rows[4].MemoryMode)
+	}
+	txt := FormatTable1(rows)
+	if !strings.Contains(txt, "Property") || !strings.Contains(txt, "App-Direct") {
+		t.Error("FormatTable1 output malformed")
+	}
+	// A no-battery card flips the volatility cell.
+	rtNB, err := NewSetup1(topology.Setup1Options{FPGA: fpgaNoBattery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsNB, err := rtNB.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rowsNB[0].AppDirect, "VOLATILE") {
+		t.Errorf("no-battery volatility row = %q", rowsNB[0].AppDirect)
+	}
+	// The DCPMM reference machine also renders Table 1.
+	rtD, err := NewDCPMMReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtD.Table1(); err != nil {
+		t.Errorf("DCPMM Table1: %v", err)
+	}
+	// Setup2 has nothing persistent to describe.
+	rt2, err := NewSetup2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Table1(); err == nil {
+		t.Error("Setup2 Table1 should fail")
+	}
+}
+
+func TestTable2FromRuntime(t *testing.T) {
+	rt := setup1(t)
+	rows, err := rt.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	if rows[0].Aspect != "Bandwidth & Data Transfer" {
+		t.Error("first row")
+	}
+	if !strings.Contains(rows[0].CXL, "GB/s") || !strings.Contains(rows[0].NVRAM, "6.6") {
+		t.Errorf("bandwidth row: %+v", rows[0])
+	}
+	txt := FormatTable2(rows)
+	if !strings.Contains(txt, "NVRAM") {
+		t.Error("FormatTable2 output malformed")
+	}
+	// Without a CXL node the CXL cell is generic.
+	rt2, err := NewSetup2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := rt2.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rows2[0].CXL, "prototype") {
+		t.Error("Setup2 should not claim prototype numbers")
+	}
+}

@@ -1,0 +1,163 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CDAT — the Coherent Device Attribute Table. Real CXL devices describe
+// their memory's performance (latency, bandwidth per access class) and
+// capacity attributes in a table the OS reads during enumeration to
+// build HMAT entries and pick NUMA distances. We model the two record
+// types the paper's device needs: DSMAS (Device Scoped Memory Affinity
+// Structure — one memory range and its flags) and DSLBIS (Device Scoped
+// Latency and Bandwidth Information Structure).
+
+// CDAT record types.
+const (
+	// CDATDsmas describes one device memory range.
+	CDATDsmas uint8 = 0
+	// CDATDslbis describes latency/bandwidth of a range.
+	CDATDslbis uint8 = 1
+)
+
+// DSLBIS data types.
+const (
+	// DSLBISReadLatency in nanoseconds.
+	DSLBISReadLatency uint8 = 0
+	// DSLBISWriteLatency in nanoseconds.
+	DSLBISWriteLatency uint8 = 1
+	// DSLBISReadBandwidth in MB/s.
+	DSLBISReadBandwidth uint8 = 2
+	// DSLBISWriteBandwidth in MB/s.
+	DSLBISWriteBandwidth uint8 = 3
+)
+
+// DSMAS is one memory-range record.
+type DSMAS struct {
+	Handle      uint8
+	NonVolatile bool
+	DPABase     uint64
+	DPALength   uint64
+}
+
+// DSLBIS is one latency/bandwidth record bound to a DSMAS handle.
+type DSLBIS struct {
+	Handle   uint8
+	DataType uint8
+	Value    uint64
+}
+
+// CDAT is a parsed table.
+type CDAT struct {
+	Ranges []DSMAS
+	Perf   []DSLBIS
+}
+
+// BuildCDAT derives the table from a Type-3 device's media: one DSMAS
+// covering the whole HDM and four DSLBIS records carrying the media's
+// profile — exactly the numbers the analytic engine uses, so the OS
+// view and the model can be cross-checked.
+func BuildCDAT(dev *Type3Device) CDAT {
+	p := dev.Media().Profile()
+	return CDAT{
+		Ranges: []DSMAS{{
+			Handle:      0,
+			NonVolatile: dev.Media().Persistent(),
+			DPABase:     0,
+			DPALength:   uint64(dev.Media().Capacity().Bytes()),
+		}},
+		Perf: []DSLBIS{
+			{Handle: 0, DataType: DSLBISReadLatency, Value: uint64(p.IdleLatency.Ns())},
+			{Handle: 0, DataType: DSLBISWriteLatency, Value: uint64(p.IdleLatency.Ns())},
+			{Handle: 0, DataType: DSLBISReadBandwidth, Value: uint64(p.ReadPeak.MBps())},
+			{Handle: 0, DataType: DSLBISWriteBandwidth, Value: uint64(p.WritePeak.MBps())},
+		},
+	}
+}
+
+// record wire format:
+//
+//	type u8 | flags u8 | length u16 | payload...
+//
+// DSMAS payload: handle u8, nv u8, pad u16, base u64, length u64 (20 B)
+// DSLBIS payload: handle u8, dataType u8, pad u16, value u64 (12 B)
+const cdatRecordHeader = 4
+
+// Encode serialises the table.
+func (c CDAT) Encode() []byte {
+	var out []byte
+	for _, r := range c.Ranges {
+		rec := make([]byte, cdatRecordHeader+20)
+		rec[0] = CDATDsmas
+		binary.LittleEndian.PutUint16(rec[2:], uint16(len(rec)))
+		rec[4] = r.Handle
+		if r.NonVolatile {
+			rec[5] = 1
+		}
+		binary.LittleEndian.PutUint64(rec[8:], r.DPABase)
+		binary.LittleEndian.PutUint64(rec[16:], r.DPALength)
+		out = append(out, rec...)
+	}
+	for _, p := range c.Perf {
+		rec := make([]byte, cdatRecordHeader+12)
+		rec[0] = CDATDslbis
+		binary.LittleEndian.PutUint16(rec[2:], uint16(len(rec)))
+		rec[4] = p.Handle
+		rec[5] = p.DataType
+		binary.LittleEndian.PutUint64(rec[8:], p.Value)
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// DecodeCDAT parses a serialised table.
+func DecodeCDAT(b []byte) (CDAT, error) {
+	var c CDAT
+	for len(b) > 0 {
+		if len(b) < cdatRecordHeader {
+			return CDAT{}, fmt.Errorf("cxl: cdat: truncated record header")
+		}
+		typ := b[0]
+		length := int(binary.LittleEndian.Uint16(b[2:]))
+		if length < cdatRecordHeader || length > len(b) {
+			return CDAT{}, fmt.Errorf("cxl: cdat: bad record length %d", length)
+		}
+		payload := b[cdatRecordHeader:length]
+		switch typ {
+		case CDATDsmas:
+			if len(payload) != 20 {
+				return CDAT{}, fmt.Errorf("cxl: cdat: DSMAS payload %d bytes", len(payload))
+			}
+			c.Ranges = append(c.Ranges, DSMAS{
+				Handle:      payload[0],
+				NonVolatile: payload[1] == 1,
+				DPABase:     binary.LittleEndian.Uint64(payload[4:]),
+				DPALength:   binary.LittleEndian.Uint64(payload[12:]),
+			})
+		case CDATDslbis:
+			if len(payload) != 12 {
+				return CDAT{}, fmt.Errorf("cxl: cdat: DSLBIS payload %d bytes", len(payload))
+			}
+			c.Perf = append(c.Perf, DSLBIS{
+				Handle:   payload[0],
+				DataType: payload[1],
+				Value:    binary.LittleEndian.Uint64(payload[4:]),
+			})
+		default:
+			return CDAT{}, fmt.Errorf("cxl: cdat: unknown record type %d", typ)
+		}
+		b = b[length:]
+	}
+	return c, nil
+}
+
+// Lookup returns the DSLBIS value for a handle/dataType pair.
+func (c CDAT) Lookup(handle, dataType uint8) (uint64, bool) {
+	for _, p := range c.Perf {
+		if p.Handle == handle && p.DataType == dataType {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}

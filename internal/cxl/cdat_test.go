@@ -1,0 +1,117 @@
+package cxl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+func TestCDATBuildFromDevice(t *testing.T) {
+	dev := testType3(t)
+	c := BuildCDAT(dev)
+	if len(c.Ranges) != 1 || len(c.Perf) != 4 {
+		t.Fatalf("cdat = %d ranges, %d perf", len(c.Ranges), len(c.Perf))
+	}
+	r := c.Ranges[0]
+	if !r.NonVolatile {
+		t.Error("battery-backed device should advertise non-volatile")
+	}
+	if r.DPALength != uint64(dev.Media().Capacity().Bytes()) {
+		t.Errorf("range length = %d", r.DPALength)
+	}
+	// The advertised numbers equal the model's profile — the OS view
+	// and the perf engine agree by construction.
+	p := dev.Media().Profile()
+	if v, ok := c.Lookup(0, DSLBISReadLatency); !ok || v != uint64(p.IdleLatency.Ns()) {
+		t.Errorf("read latency = %d, %v", v, ok)
+	}
+	if v, ok := c.Lookup(0, DSLBISReadBandwidth); !ok || v != uint64(p.ReadPeak.MBps()) {
+		t.Errorf("read bandwidth = %d", v)
+	}
+	if v, ok := c.Lookup(0, DSLBISWriteBandwidth); !ok || v != uint64(p.WritePeak.MBps()) {
+		t.Errorf("write bandwidth = %d", v)
+	}
+	if _, ok := c.Lookup(9, DSLBISReadLatency); ok {
+		t.Error("lookup of unknown handle succeeded")
+	}
+}
+
+func TestCDATEncodeDecodeRoundTrip(t *testing.T) {
+	dev := testType3(t)
+	c := BuildCDAT(dev)
+	enc := c.Encode()
+	back, err := DecodeCDAT(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ranges) != len(c.Ranges) || len(back.Perf) != len(c.Perf) {
+		t.Fatal("record counts changed")
+	}
+	if back.Ranges[0] != c.Ranges[0] {
+		t.Errorf("DSMAS mismatch: %+v vs %+v", back.Ranges[0], c.Ranges[0])
+	}
+	for i := range c.Perf {
+		if back.Perf[i] != c.Perf[i] {
+			t.Errorf("DSLBIS %d mismatch", i)
+		}
+	}
+}
+
+func TestCDATDecodeValidation(t *testing.T) {
+	if _, err := DecodeCDAT([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := DecodeCDAT([]byte{9, 0, 8, 0, 1, 2, 3, 4}); err == nil {
+		t.Error("unknown record type accepted")
+	}
+	// Bad length field.
+	if _, err := DecodeCDAT([]byte{0, 0, 2, 0}); err == nil {
+		t.Error("undersized length accepted")
+	}
+	if _, err := DecodeCDAT([]byte{0, 0, 255, 0, 1}); err == nil {
+		t.Error("oversized length accepted")
+	}
+	// DSMAS with wrong payload size.
+	bad := []byte{CDATDsmas, 0, 10, 0, 1, 2, 3, 4, 5, 6}
+	if _, err := DecodeCDAT(bad); err == nil {
+		t.Error("short DSMAS accepted")
+	}
+}
+
+// Property: arbitrary well-formed tables survive the codec.
+func TestCDATRoundTripProperty(t *testing.T) {
+	f := func(handle, dt uint8, base, length, value uint64, nv bool) bool {
+		c := CDAT{
+			Ranges: []DSMAS{{Handle: handle, NonVolatile: nv, DPABase: base, DPALength: length}},
+			Perf:   []DSLBIS{{Handle: handle, DataType: dt % 4, Value: value}},
+		}
+		back, err := DecodeCDAT(c.Encode())
+		if err != nil {
+			return false
+		}
+		return back.Ranges[0] == c.Ranges[0] && back.Perf[0] == c.Perf[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDATVolatileDevice(t *testing.T) {
+	// A device over plain (non-battery) DRAM advertises volatile.
+	media, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: "vol-media", Rate: 1333, Channels: 1, CapacityPerChannel: units.MiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewType3("vol", 0x8086, 0x0D99, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := BuildCDAT(dev)
+	if c.Ranges[0].NonVolatile {
+		t.Error("volatile media advertised as non-volatile")
+	}
+}

@@ -1,0 +1,171 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CXL.io configuration model. Real CXL devices are enumerated over the
+// PCIe configuration mechanism and identified by a Designated Vendor-
+// Specific Extended Capability (DVSEC) with the CXL vendor ID. We model a
+// 4 KiB config space per endpoint with the standard header fields and the
+// CXL device DVSEC, which is what Enumerate walks.
+
+// ConfigSpaceSize is the PCIe extended configuration space size.
+const ConfigSpaceSize = 4096
+
+// Standard configuration offsets.
+const (
+	cfgVendorID  = 0x00 // u16
+	cfgDeviceID  = 0x02 // u16
+	cfgClassCode = 0x09 // u24 (we store the 3 bytes at 0x09..0x0C)
+	cfgExtCapPtr = 0x100
+)
+
+// CXLVendorID is the CXL consortium vendor ID used in the DVSEC header.
+const CXLVendorID = 0x1E98
+
+// DVSEC IDs for CXL capability structures (subset).
+const (
+	// DVSECCXLDevice identifies the "PCIe DVSEC for CXL Devices"
+	// structure carrying device capabilities.
+	DVSECCXLDevice = 0x0000
+)
+
+// Extended capability ID for DVSEC.
+const extCapIDDVSEC = 0x0023
+
+// DVSEC layout within extended config space (offsets relative to the
+// capability base):
+//
+//	0x0  u32 header: cap ID (16) | version (4) | next ptr (12)
+//	0x4  u32 DVSEC header1: vendor ID (16) | rev (4) | length (12)
+//	0x8  u16 DVSEC ID
+//	0xA  u16 capability bits: bit0 cache, bit1 io, bit2 mem
+//	0xC  u64 HDM size hint (non-standard convenience field)
+const dvsecLen = 0x14
+
+// CapabilityBits advertise which CXL protocols the endpoint speaks.
+type CapabilityBits uint16
+
+const (
+	// CapCache — the device can issue CXL.cache (Type 1 and 2).
+	CapCache CapabilityBits = 1 << 0
+	// CapIO — CXL.io is mandatory for every CXL device.
+	CapIO CapabilityBits = 1 << 1
+	// CapMem — the device exposes HDM via CXL.mem (Type 2 and 3).
+	CapMem CapabilityBits = 1 << 2
+)
+
+func (c CapabilityBits) String() string {
+	s := ""
+	if c&CapCache != 0 {
+		s += "cache+"
+	}
+	if c&CapIO != 0 {
+		s += "io+"
+	}
+	if c&CapMem != 0 {
+		s += "mem+"
+	}
+	if s == "" {
+		return "none"
+	}
+	return s[:len(s)-1]
+}
+
+// ConfigSpace is one endpoint's PCIe/CXL configuration space.
+type ConfigSpace struct {
+	data [ConfigSpaceSize]byte
+}
+
+// ConfigError reports an invalid config-space access.
+type ConfigError struct {
+	Off int
+	Len int
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cxl: config access [%d,%d) outside 4KiB space", e.Off, e.Off+e.Len)
+}
+
+// Read32 reads a 32-bit register.
+func (c *ConfigSpace) Read32(off int) (uint32, error) {
+	if off < 0 || off+4 > ConfigSpaceSize {
+		return 0, &ConfigError{Off: off, Len: 4}
+	}
+	return binary.LittleEndian.Uint32(c.data[off:]), nil
+}
+
+// Write32 writes a 32-bit register.
+func (c *ConfigSpace) Write32(off int, v uint32) error {
+	if off < 0 || off+4 > ConfigSpaceSize {
+		return &ConfigError{Off: off, Len: 4}
+	}
+	binary.LittleEndian.PutUint32(c.data[off:], v)
+	return nil
+}
+
+// VendorID returns the PCI vendor ID.
+func (c *ConfigSpace) VendorID() uint16 { return binary.LittleEndian.Uint16(c.data[cfgVendorID:]) }
+
+// DeviceID returns the PCI device ID.
+func (c *ConfigSpace) DeviceID() uint16 { return binary.LittleEndian.Uint16(c.data[cfgDeviceID:]) }
+
+// ClassCode returns the 24-bit class code.
+func (c *ConfigSpace) ClassCode() uint32 {
+	return uint32(c.data[cfgClassCode]) | uint32(c.data[cfgClassCode+1])<<8 | uint32(c.data[cfgClassCode+2])<<16
+}
+
+// ClassMemoryCXL is the class code for a CXL memory device (05h base
+// class = memory controller, 02h sub-class = CXL).
+const ClassMemoryCXL = 0x050210
+
+// InitIdentity programs the identity registers.
+func (c *ConfigSpace) InitIdentity(vendor, device uint16, class uint32) {
+	binary.LittleEndian.PutUint16(c.data[cfgVendorID:], vendor)
+	binary.LittleEndian.PutUint16(c.data[cfgDeviceID:], device)
+	c.data[cfgClassCode] = byte(class)
+	c.data[cfgClassCode+1] = byte(class >> 8)
+	c.data[cfgClassCode+2] = byte(class >> 16)
+}
+
+// InstallCXLDVSEC writes the CXL device DVSEC at the first extended
+// capability slot, advertising caps and an HDM size hint.
+func (c *ConfigSpace) InstallCXLDVSEC(caps CapabilityBits, hdmSize uint64) {
+	base := cfgExtCapPtr
+	// Extended capability header: DVSEC id, version 1, no next.
+	binary.LittleEndian.PutUint32(c.data[base:], uint32(extCapIDDVSEC)|1<<16)
+	// DVSEC header1.
+	binary.LittleEndian.PutUint32(c.data[base+4:], uint32(CXLVendorID)|uint32(dvsecLen)<<20)
+	binary.LittleEndian.PutUint16(c.data[base+8:], DVSECCXLDevice)
+	binary.LittleEndian.PutUint16(c.data[base+0xA:], uint16(caps))
+	binary.LittleEndian.PutUint64(c.data[base+0xC:], hdmSize)
+}
+
+// DVSECInfo is the parsed CXL DVSEC.
+type DVSECInfo struct {
+	Caps    CapabilityBits
+	HDMSize uint64
+}
+
+// FindCXLDVSEC walks the extended capability list looking for the CXL
+// device DVSEC; ok is false for a non-CXL device.
+func (c *ConfigSpace) FindCXLDVSEC() (DVSECInfo, bool) {
+	base := cfgExtCapPtr
+	hdr := binary.LittleEndian.Uint32(c.data[base:])
+	if hdr&0xFFFF != extCapIDDVSEC {
+		return DVSECInfo{}, false
+	}
+	h1 := binary.LittleEndian.Uint32(c.data[base+4:])
+	if h1&0xFFFF != CXLVendorID {
+		return DVSECInfo{}, false
+	}
+	if binary.LittleEndian.Uint16(c.data[base+8:]) != DVSECCXLDevice {
+		return DVSECInfo{}, false
+	}
+	return DVSECInfo{
+		Caps:    CapabilityBits(binary.LittleEndian.Uint16(c.data[base+0xA:])),
+		HDMSize: binary.LittleEndian.Uint64(c.data[base+0xC:]),
+	}, true
+}

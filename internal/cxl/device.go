@@ -1,0 +1,268 @@
+package cxl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// DeviceType is the CXL 1.1 device taxonomy (§1.3): accelerators with
+// cache only (Type 1), cache with attached memory (Type 2), and memory
+// expansion (Type 3).
+type DeviceType int
+
+const (
+	// Type1 is a caching accelerator without HDM.
+	Type1 DeviceType = 1
+	// Type2 is an accelerator with attached device memory.
+	Type2 DeviceType = 2
+	// Type3 is a memory-expansion device — the paper's prototype.
+	Type3 DeviceType = 3
+)
+
+func (t DeviceType) String() string { return fmt.Sprintf("Type%d", int(t)) }
+
+// Endpoint is any CXL device that can be attached to a root port (or a
+// switch downstream port).
+type Endpoint interface {
+	// Name identifies the endpoint.
+	Name() string
+	// DeviceType returns the CXL device class.
+	DeviceType() DeviceType
+	// Config exposes the CXL.io configuration space.
+	Config() *ConfigSpace
+	// HandleMem services one CXL.mem request. Type 1 devices return
+	// RespErr for all of them.
+	HandleMem(MemReq) MemResp
+}
+
+// MemStats counts CXL.mem transactions at an endpoint.
+type MemStats struct {
+	Reads         atomic.Int64
+	Writes        atomic.Int64
+	PartialWrites atomic.Int64
+	Invalidates   atomic.Int64
+	Errors        atomic.Int64
+}
+
+// Type3Device is a CXL memory-expansion endpoint backed by a media
+// device (the prototype's DDR4 "HDM subsystem", §2.2).
+type Type3Device struct {
+	name  string
+	media memdev.Device
+	cfg   ConfigSpace
+	stats MemStats
+
+	mu       sync.RWMutex
+	decoders []*HDMDecoder
+	poisoned func(dpa uint64) bool
+}
+
+// NewType3 builds a memory-expansion endpoint over the given media. The
+// config space is initialised with the CXL class code and a device DVSEC
+// advertising CXL.io + CXL.mem.
+func NewType3(name string, vendor, deviceID uint16, media memdev.Device) (*Type3Device, error) {
+	if media == nil {
+		return nil, fmt.Errorf("cxl: %s: nil media", name)
+	}
+	d := &Type3Device{name: name, media: media}
+	d.cfg.InitIdentity(vendor, deviceID, ClassMemoryCXL)
+	d.cfg.InstallCXLDVSEC(CapIO|CapMem, uint64(media.Capacity().Bytes()))
+	return d, nil
+}
+
+// Name implements Endpoint.
+func (d *Type3Device) Name() string { return d.name }
+
+// DeviceType implements Endpoint.
+func (d *Type3Device) DeviceType() DeviceType { return Type3 }
+
+// Config implements Endpoint.
+func (d *Type3Device) Config() *ConfigSpace { return &d.cfg }
+
+// Media exposes the backing device (e.g. for battery/persistence checks).
+func (d *Type3Device) Media() memdev.Device { return d.media }
+
+// Stats exposes transaction counters.
+func (d *Type3Device) Stats() *MemStats { return &d.stats }
+
+// ProgramDecoder installs and commits an HDM decoder. Multiple decoders
+// may cover disjoint HPA windows (the prototype exposes the same memory
+// volume to two NUMA nodes through two windows, §2.2).
+func (d *Type3Device) ProgramDecoder(dec *HDMDecoder) error {
+	if err := dec.Commit(); err != nil {
+		return err
+	}
+	maxDPA := dec.DPABase + dec.Size/uint64(dec.InterleaveWays)
+	if dec.InterleaveWays <= 1 {
+		maxDPA = dec.DPABase + dec.Size
+	}
+	if maxDPA > uint64(d.media.Capacity().Bytes()) {
+		return fmt.Errorf("cxl: %s: decoder %v exceeds media capacity %v", d.name, dec, d.media.Capacity())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.decoders = append(d.decoders, dec)
+	return nil
+}
+
+// Decoders returns the committed decoders.
+func (d *Type3Device) Decoders() []*HDMDecoder {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*HDMDecoder, len(d.decoders))
+	copy(out, d.decoders)
+	return out
+}
+
+// decode finds the decoder owning hpa.
+func (d *Type3Device) decode(hpa uint64) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, dec := range d.decoders {
+		if dpa, ok := dec.Decode(hpa); ok {
+			return dpa, true
+		}
+	}
+	return 0, false
+}
+
+// HandleMem implements the CXL.mem transaction layer for a Type-3
+// endpoint: it turns M2S requests into HDM accesses against the media.
+func (d *Type3Device) HandleMem(req MemReq) MemResp {
+	resp := MemResp{Tag: req.Tag}
+	dpa, ok := d.decode(req.Addr)
+	if !ok {
+		d.stats.Errors.Add(1)
+		resp.Opcode = RespErr
+		return resp
+	}
+	if d.poisonCheck(dpa) {
+		// Poisoned line: real CXL returns the data with poison
+		// signalling; we surface it as an error response the host
+		// must handle (RAS path).
+		d.stats.Errors.Add(1)
+		resp.Opcode = RespErr
+		return resp
+	}
+	switch req.Opcode {
+	case OpMemRd:
+		if err := d.media.ReadAt(resp.Data[:], int64(dpa)); err != nil {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+		d.stats.Reads.Add(1)
+		resp.Opcode = RespMemData
+	case OpMemWr:
+		if err := d.media.WriteAt(req.Data[:], int64(dpa)); err != nil {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+		d.stats.Writes.Add(1)
+		resp.Opcode = RespCmp
+	case OpMemWrPtl:
+		// Read-modify-write under the byte mask.
+		var line [LineSize]byte
+		if err := d.media.ReadAt(line[:], int64(dpa)); err != nil {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+		for i := 0; i < LineSize; i++ {
+			if req.Mask&(1<<uint(i)) != 0 {
+				line[i] = req.Data[i]
+			}
+		}
+		if err := d.media.WriteAt(line[:], int64(dpa)); err != nil {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+		d.stats.PartialWrites.Add(1)
+		resp.Opcode = RespCmp
+	case OpMemInv:
+		d.stats.Invalidates.Add(1)
+		resp.Opcode = RespCmp
+	default:
+		d.stats.Errors.Add(1)
+		resp.Opcode = RespErr
+	}
+	return resp
+}
+
+// SetPoisonChecker installs the RAS hook consulted on every HDM access
+// (the device Mailbox registers its poison list here).
+func (d *Type3Device) SetPoisonChecker(f func(dpa uint64) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.poisoned = f
+}
+
+func (d *Type3Device) poisonCheck(dpa uint64) bool {
+	d.mu.RLock()
+	f := d.poisoned
+	d.mu.RUnlock()
+	return f != nil && f(dpa)
+}
+
+func (d *Type3Device) String() string {
+	return fmt.Sprintf("%s: CXL Type3, %s HDM (%s)", d.name, d.media.Capacity(), d.media.Name())
+}
+
+// Type1Device is a caching accelerator: CXL.cache + CXL.io, no HDM. It
+// exists so enumeration can classify mixed hierarchies; the paper's
+// experiments use Type 3 only.
+type Type1Device struct {
+	name string
+	cfg  ConfigSpace
+}
+
+// NewType1 builds a cache-only accelerator endpoint.
+func NewType1(name string, vendor, deviceID uint16) *Type1Device {
+	d := &Type1Device{name: name}
+	d.cfg.InitIdentity(vendor, deviceID, 0x120000) // processing accelerator
+	d.cfg.InstallCXLDVSEC(CapIO|CapCache, 0)
+	return d
+}
+
+// Name implements Endpoint.
+func (d *Type1Device) Name() string { return d.name }
+
+// DeviceType implements Endpoint.
+func (d *Type1Device) DeviceType() DeviceType { return Type1 }
+
+// Config implements Endpoint.
+func (d *Type1Device) Config() *ConfigSpace { return &d.cfg }
+
+// HandleMem always fails: Type 1 devices expose no HDM.
+func (d *Type1Device) HandleMem(req MemReq) MemResp {
+	return MemResp{Tag: req.Tag, Opcode: RespErr}
+}
+
+// Type2Device is an accelerator with attached memory: it embeds the
+// Type-3 HDM machinery and additionally advertises CXL.cache.
+type Type2Device struct {
+	*Type3Device
+}
+
+// NewType2 builds an accelerator-with-memory endpoint.
+func NewType2(name string, vendor, deviceID uint16, media memdev.Device) (*Type2Device, error) {
+	t3, err := NewType3(name, vendor, deviceID, media)
+	if err != nil {
+		return nil, err
+	}
+	d := &Type2Device{Type3Device: t3}
+	d.cfg.InstallCXLDVSEC(CapIO|CapCache|CapMem, uint64(media.Capacity().Bytes()))
+	return d, nil
+}
+
+// DeviceType implements Endpoint.
+func (d *Type2Device) DeviceType() DeviceType { return Type2 }
+
+// lineAligned reports whether an access is aligned to the CXL line size.
+func lineAligned(addr uint64) bool { return addr%uint64(units.CacheLine) == 0 }

@@ -1,0 +1,354 @@
+package cxl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/interconnect"
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+func testMedia(t *testing.T, name string) memdev.Device {
+	t.Helper()
+	d, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name:               name,
+		Rate:               1333,
+		Channels:           2,
+		CapacityPerChannel: 8 * units.MiB,
+		BatteryBacked:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testType3(t *testing.T) *Type3Device {
+	t.Helper()
+	dev, err := NewType3("cxl-mem0", 0x8086, 0x0D93, testMedia(t, "fpga-ddr4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func trainedPort(t *testing.T, ep Endpoint) *RootPort {
+	t.Helper()
+	link, err := interconnect.NewPCIe("pcie5x16", interconnect.KindPCIe5, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRootPort("rp0", link)
+	if err := rp.Attach(ep); err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+func TestType3MemReadWrite(t *testing.T) {
+	dev := testType3(t)
+	dec := &HDMDecoder{Base: 0x10_0000_0000, Size: 8 << 20}
+	if err := dev.ProgramDecoder(dec); err != nil {
+		t.Fatal(err)
+	}
+	var in [LineSize]byte
+	for i := range in {
+		in[i] = byte(i + 1)
+	}
+	resp := dev.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0x10_0000_0040, Data: in, Tag: 3})
+	if resp.Opcode != RespCmp || resp.Tag != 3 {
+		t.Fatalf("write resp = %+v", resp)
+	}
+	resp = dev.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0x10_0000_0040, Tag: 4})
+	if resp.Opcode != RespMemData || resp.Tag != 4 {
+		t.Fatalf("read resp = %+v", resp)
+	}
+	if !bytes.Equal(resp.Data[:], in[:]) {
+		t.Error("data mismatch through HDM")
+	}
+	r, w := dev.Stats().Reads.Load(), dev.Stats().Writes.Load()
+	if r != 1 || w != 1 {
+		t.Errorf("stats = %d reads %d writes", r, w)
+	}
+}
+
+func TestType3PartialWrite(t *testing.T) {
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var full [LineSize]byte
+	for i := range full {
+		full[i] = 0xAA
+	}
+	dev.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0, Data: full})
+	// Overwrite bytes 4..8 only.
+	var req MemReq
+	req.Opcode = OpMemWrPtl
+	req.Addr = 0
+	req.Data[4], req.Data[5], req.Data[6], req.Data[7] = 1, 2, 3, 4
+	req.Mask = 0xF0
+	if resp := dev.HandleMem(req); resp.Opcode != RespCmp {
+		t.Fatalf("partial write resp = %v", resp.Opcode)
+	}
+	resp := dev.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0})
+	want := full
+	want[4], want[5], want[6], want[7] = 1, 2, 3, 4
+	if !bytes.Equal(resp.Data[:], want[:]) {
+		t.Errorf("after partial write:\n got %v\nwant %v", resp.Data[:8], want[:8])
+	}
+	if dev.Stats().PartialWrites.Load() != 1 {
+		t.Error("partial write not counted")
+	}
+}
+
+func TestType3UnmappedAddress(t *testing.T) {
+	dev := testType3(t)
+	resp := dev.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0x40})
+	if resp.Opcode != RespErr {
+		t.Errorf("unmapped read resp = %v, want RespErr", resp.Opcode)
+	}
+	if dev.Stats().Errors.Load() != 1 {
+		t.Error("error not counted")
+	}
+}
+
+func TestType3MemInv(t *testing.T) {
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	resp := dev.HandleMem(MemReq{Opcode: OpMemInv, Addr: 0})
+	if resp.Opcode != RespCmp {
+		t.Errorf("MemInv resp = %v", resp.Opcode)
+	}
+	if dev.Stats().Invalidates.Load() != 1 {
+		t.Error("invalidate not counted")
+	}
+}
+
+func TestProgramDecoderOverCapacity(t *testing.T) {
+	dev := testType3(t) // 16 MiB media
+	err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 64 << 20})
+	if err == nil {
+		t.Error("oversized decoder accepted")
+	}
+	if got := len(dev.Decoders()); got != 0 {
+		t.Errorf("decoders = %d, want 0", got)
+	}
+}
+
+func TestTwoWindowsOneDevice(t *testing.T) {
+	// §2.2: "the same far memory segment can be made available to two
+	// distinct NUMA nodes" — two HPA windows, one media.
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0x10_0000_0000, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0x20_0000_0000, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var line [LineSize]byte
+	line[0] = 0x42
+	if resp := dev.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0x10_0000_0000, Data: line}); resp.Opcode != RespCmp {
+		t.Fatal("write via window 1 failed")
+	}
+	resp := dev.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0x20_0000_0000})
+	if resp.Opcode != RespMemData || resp.Data[0] != 0x42 {
+		t.Error("windows do not alias the same media")
+	}
+}
+
+func TestRootPortLinkTraining(t *testing.T) {
+	link, _ := interconnect.NewPCIe("p", interconnect.KindPCIe5, 16, 0)
+	rp := NewRootPort("rp0", link)
+	if rp.State() != LinkDown {
+		t.Error("fresh port should be down")
+	}
+	if err := rp.Attach(nil); err == nil {
+		t.Error("attached nil endpoint")
+	}
+	dev := testType3(t)
+	if err := rp.Attach(dev); err != nil {
+		t.Fatal(err)
+	}
+	if rp.State() != LinkUp || rp.Endpoint() != Endpoint(dev) {
+		t.Error("training did not bring link up")
+	}
+	if err := rp.Attach(dev); err == nil {
+		t.Error("double attach accepted")
+	}
+	rp.Detach()
+	if rp.State() != LinkDown || rp.Endpoint() != nil {
+		t.Error("detach did not bring link down")
+	}
+	if rp.Name() != "rp0" || rp.Link() != link {
+		t.Error("accessors mismatch")
+	}
+}
+
+// nonCXLEndpoint has no DVSEC: training must fail.
+type nonCXLEndpoint struct{ cfg ConfigSpace }
+
+func (d *nonCXLEndpoint) Name() string           { return "plain-pcie" }
+func (d *nonCXLEndpoint) DeviceType() DeviceType { return Type3 }
+func (d *nonCXLEndpoint) Config() *ConfigSpace   { return &d.cfg }
+func (d *nonCXLEndpoint) HandleMem(req MemReq) MemResp {
+	return MemResp{Tag: req.Tag, Opcode: RespErr}
+}
+
+func TestTrainingRejectsNonCXL(t *testing.T) {
+	link, _ := interconnect.NewPCIe("p", interconnect.KindPCIe5, 16, 0)
+	rp := NewRootPort("rp0", link)
+	if err := rp.Attach(&nonCXLEndpoint{}); err == nil {
+		t.Error("trained against a device without CXL DVSEC")
+	}
+	if rp.State() != LinkDown {
+		t.Error("failed training left link up")
+	}
+}
+
+func TestRootPortLineOps(t *testing.T) {
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	rp := trainedPort(t, dev)
+	var in, out [LineSize]byte
+	for i := range in {
+		in[i] = byte(i)
+	}
+	if err := rp.WriteLine(128, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.ReadLine(128, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Error("line round trip mismatch")
+	}
+	if err := rp.WriteLine(130, &in); err == nil {
+		t.Error("unaligned WriteLine accepted")
+	}
+	if err := rp.ReadLine(130, &out); err == nil {
+		t.Error("unaligned ReadLine accepted")
+	}
+}
+
+func TestRootPortBulkUnaligned(t *testing.T) {
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	rp := trainedPort(t, dev)
+	payload := []byte("unaligned payload spanning multiple CXL lines with head and tail fragments!")
+	if err := rp.WriteAt(payload, 61); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(payload))
+	if err := rp.ReadAt(out, 61); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, out) {
+		t.Errorf("bulk round trip mismatch: %q", out)
+	}
+	// Partial writes must not clobber neighbours.
+	probe := make([]byte, 2)
+	if err := rp.ReadAt(probe, 59); err != nil {
+		t.Fatal(err)
+	}
+	if probe[0] != 0 || probe[1] != 0 {
+		t.Error("head partial write clobbered preceding bytes")
+	}
+	if dev.Stats().PartialWrites.Load() == 0 {
+		t.Error("expected MemWrPtl for unaligned edges")
+	}
+}
+
+func TestRootPortDownLinkFails(t *testing.T) {
+	link, _ := interconnect.NewPCIe("p", interconnect.KindPCIe5, 16, 0)
+	rp := NewRootPort("rp0", link)
+	var line [LineSize]byte
+	err := rp.ReadLine(0, &line)
+	if err == nil {
+		t.Fatal("read over down link succeeded")
+	}
+	var pe *PortError
+	if pe, _ = err.(*PortError); pe == nil || !strings.Contains(pe.Error(), "link down") {
+		t.Errorf("err = %v, want PortError(link down)", err)
+	}
+}
+
+func TestRootPortFlitTrace(t *testing.T) {
+	dev := testType3(t)
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	rp := trainedPort(t, dev)
+	var flits int
+	rp.FlitTrace = func(Flit) { flits++ }
+	var line [LineSize]byte
+	if err := rp.WriteLine(0, &line); err != nil {
+		t.Fatal(err)
+	}
+	if flits != 2 { // one request, one response
+		t.Errorf("traced %d flits, want 2", flits)
+	}
+}
+
+func TestType1RejectsMem(t *testing.T) {
+	d := NewType1("accel", 0x8086, 0x0001)
+	if d.DeviceType() != Type1 {
+		t.Error("wrong type")
+	}
+	if resp := d.HandleMem(MemReq{Opcode: OpMemRd}); resp.Opcode != RespErr {
+		t.Error("Type1 serviced CXL.mem")
+	}
+	info, ok := d.Config().FindCXLDVSEC()
+	if !ok || info.Caps&CapMem != 0 || info.Caps&CapCache == 0 {
+		t.Errorf("Type1 DVSEC caps = %v", info.Caps)
+	}
+}
+
+func TestType2HasMemAndCache(t *testing.T) {
+	d, err := NewType2("accel-mem", 0x8086, 0x0002, testMedia(t, "t2-media"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DeviceType() != Type2 {
+		t.Error("wrong type")
+	}
+	info, ok := d.Config().FindCXLDVSEC()
+	if !ok || info.Caps != CapCache|CapIO|CapMem {
+		t.Errorf("Type2 caps = %v", info.Caps)
+	}
+	if err := d.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var line [LineSize]byte
+	line[0] = 9
+	if resp := d.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0, Data: line}); resp.Opcode != RespCmp {
+		t.Error("Type2 write failed")
+	}
+}
+
+func TestNewType3Validation(t *testing.T) {
+	if _, err := NewType3("x", 0, 0, nil); err == nil {
+		t.Error("accepted nil media")
+	}
+}
+
+func TestDeviceStrings(t *testing.T) {
+	dev := testType3(t)
+	if s := dev.String(); !strings.Contains(s, "Type3") {
+		t.Errorf("String = %q", s)
+	}
+	if Type1.String() != "Type1" || Type3.String() != "Type3" {
+		t.Error("DeviceType strings")
+	}
+	if LinkUp.String() != "up" || LinkDown.String() != "down" {
+		t.Error("LinkState strings")
+	}
+}

@@ -1,0 +1,128 @@
+package cxl
+
+import (
+	"fmt"
+
+	"cxlpmem/internal/units"
+)
+
+// Enumeration: the boot-time walk that discovers CXL endpoints behind
+// root ports, verifies their DVSECs, carves HPA windows out of the
+// system's CXL fixed memory window, and programs the devices' HDM
+// decoders. The result is what the OS would surface as CXL NUMA nodes
+// ("the FPGA device is duly enumerated as a CXL endpoint within the host
+// system", §2.2).
+
+// DefaultCXLWindowBase is the first host physical address handed to CXL
+// memory; chosen above any plausible DRAM so windows never collide with
+// system memory.
+const DefaultCXLWindowBase uint64 = 0x10_0000_0000 // 64 GiB
+
+// MemWindow records one enumerated HPA range backed by a Type-3 (or
+// Type-2) endpoint.
+type MemWindow struct {
+	// Port is the root port the window is reached through.
+	Port *RootPort
+	// Endpoint owning the HDM.
+	Endpoint Endpoint
+	// Base and Size delimit the HPA range.
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether hpa falls in the window.
+func (w MemWindow) Contains(hpa uint64) bool {
+	return hpa >= w.Base && hpa < w.Base+w.Size
+}
+
+func (w MemWindow) String() string {
+	return fmt.Sprintf("[%#x, %#x) -> %s via %s", w.Base, w.Base+w.Size, w.Endpoint.Name(), w.Port.Name())
+}
+
+// Hierarchy is the result of enumeration.
+type Hierarchy struct {
+	Ports   []*RootPort
+	Windows []MemWindow
+}
+
+// Enumerate walks the given root ports. For every trained endpoint that
+// advertises CXL.mem it allocates an HPA window at and after base
+// (DefaultCXLWindowBase if base is zero) and programs a single full-range
+// HDM decoder. Endpoints without CXL.mem (Type 1) are listed but receive
+// no window.
+func Enumerate(base uint64, ports ...*RootPort) (*Hierarchy, error) {
+	if base == 0 {
+		base = DefaultCXLWindowBase
+	}
+	h := &Hierarchy{Ports: ports}
+	next := base
+	for _, rp := range ports {
+		ep := rp.Endpoint()
+		if ep == nil || rp.State() != LinkUp {
+			continue
+		}
+		dvsec, ok := ep.Config().FindCXLDVSEC()
+		if !ok {
+			return nil, fmt.Errorf("cxl: enumerate: %s trained but has no DVSEC", ep.Name())
+		}
+		if dvsec.Caps&CapMem == 0 {
+			continue // Type 1: no HDM to map.
+		}
+		if dvsec.HDMSize == 0 {
+			return nil, fmt.Errorf("cxl: enumerate: %s advertises CXL.mem with zero HDM", ep.Name())
+		}
+		type3, ok := ep.(interface{ ProgramDecoder(*HDMDecoder) error })
+		if !ok {
+			return nil, fmt.Errorf("cxl: enumerate: %s advertises CXL.mem but cannot program decoders", ep.Name())
+		}
+		dec := &HDMDecoder{Base: next, Size: dvsec.HDMSize}
+		if err := type3.ProgramDecoder(dec); err != nil {
+			return nil, fmt.Errorf("cxl: enumerate: %s: %w", ep.Name(), err)
+		}
+		h.Windows = append(h.Windows, MemWindow{Port: rp, Endpoint: ep, Base: next, Size: dvsec.HDMSize})
+		next += alignUp(dvsec.HDMSize, 1<<30) // 1 GiB window alignment
+	}
+	return h, nil
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// WindowFor returns the window containing hpa.
+func (h *Hierarchy) WindowFor(hpa uint64) (MemWindow, bool) {
+	for _, w := range h.Windows {
+		if w.Contains(hpa) {
+			return w, true
+		}
+	}
+	return MemWindow{}, false
+}
+
+// TotalHDM sums the enumerated HDM capacity.
+func (h *Hierarchy) TotalHDM() units.Size {
+	var total uint64
+	for _, w := range h.Windows {
+		total += w.Size
+	}
+	return units.Size(total)
+}
+
+// Describe renders a `cxl list`-style summary.
+func (h *Hierarchy) Describe() string {
+	s := fmt.Sprintf("CXL hierarchy: %d port(s), %d memory window(s), %s HDM total\n",
+		len(h.Ports), len(h.Windows), h.TotalHDM())
+	for _, rp := range h.Ports {
+		ep := rp.Endpoint()
+		if ep == nil {
+			s += fmt.Sprintf("  %s: link %s, empty\n", rp.Name(), rp.State())
+			continue
+		}
+		dvsec, _ := ep.Config().FindCXLDVSEC()
+		s += fmt.Sprintf("  %s: link %s, %s %s (vendor %#04x device %#04x, caps %s)\n",
+			rp.Name(), rp.State(), ep.Name(), ep.DeviceType(),
+			ep.Config().VendorID(), ep.Config().DeviceID(), dvsec.Caps)
+	}
+	for _, w := range h.Windows {
+		s += "  window " + w.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package cxl
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/interconnect"
+	"cxlpmem/internal/units"
+)
+
+func TestEnumerateSingleDevice(t *testing.T) {
+	dev := testType3(t) // 16 MiB media
+	rp := trainedPort(t, dev)
+	h, err := Enumerate(0, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Windows) != 1 {
+		t.Fatalf("windows = %d, want 1", len(h.Windows))
+	}
+	w := h.Windows[0]
+	if w.Base != DefaultCXLWindowBase {
+		t.Errorf("base = %#x, want %#x", w.Base, DefaultCXLWindowBase)
+	}
+	if w.Size != uint64(16*units.MiB) {
+		t.Errorf("size = %d", w.Size)
+	}
+	if w.Endpoint != Endpoint(dev) || w.Port != rp {
+		t.Error("window wiring mismatch")
+	}
+	// Decoder is programmed: access through the port works end-to-end.
+	var in, out [LineSize]byte
+	in[7] = 0x77
+	if err := rp.WriteLine(w.Base+64, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.ReadLine(w.Base+64, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Error("post-enumeration access mismatch")
+	}
+}
+
+func TestEnumerateMultipleDevices(t *testing.T) {
+	devA := testType3(t)
+	devBMedia := testMedia(t, "m2")
+	devB, err := NewType3("cxl-mem1", 0x8086, 0x0D94, devBMedia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpA := trainedPort(t, devA)
+	linkB, _ := interconnect.NewPCIe("pcieB", interconnect.KindPCIe5, 16, 0)
+	rpB := NewRootPort("rp1", linkB)
+	if err := rpB.Attach(devB); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Enumerate(0, rpA, rpB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(h.Windows))
+	}
+	// Windows must not overlap and are GiB-aligned apart.
+	w0, w1 := h.Windows[0], h.Windows[1]
+	if w1.Base < w0.Base+w0.Size {
+		t.Error("windows overlap")
+	}
+	if w1.Base%(1<<30) != 0 {
+		t.Errorf("second window base %#x not GiB aligned", w1.Base)
+	}
+	if got := h.TotalHDM(); got != 32*units.MiB {
+		t.Errorf("TotalHDM = %v", got)
+	}
+	if _, ok := h.WindowFor(w1.Base + 5); !ok {
+		t.Error("WindowFor missed")
+	}
+	if _, ok := h.WindowFor(0x1); ok {
+		t.Error("WindowFor matched unmapped address")
+	}
+}
+
+func TestEnumerateSkipsType1AndEmptyPorts(t *testing.T) {
+	accel := NewType1("accel", 0x8086, 0x0001)
+	linkA, _ := interconnect.NewPCIe("pa", interconnect.KindPCIe5, 8, 0)
+	rpA := NewRootPort("rpA", linkA)
+	if err := rpA.Attach(accel); err != nil {
+		t.Fatal(err)
+	}
+	linkB, _ := interconnect.NewPCIe("pb", interconnect.KindPCIe5, 16, 0)
+	rpEmpty := NewRootPort("rpB", linkB)
+	h, err := Enumerate(0, rpA, rpEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Windows) != 0 {
+		t.Errorf("windows = %d, want 0", len(h.Windows))
+	}
+	desc := h.Describe()
+	if !strings.Contains(desc, "accel") || !strings.Contains(desc, "empty") {
+		t.Errorf("Describe missing entries:\n%s", desc)
+	}
+}
+
+func TestEnumerateCustomBase(t *testing.T) {
+	dev := testType3(t)
+	rp := trainedPort(t, dev)
+	h, err := Enumerate(0x40_0000_0000, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Windows[0].Base != 0x40_0000_0000 {
+		t.Errorf("base = %#x", h.Windows[0].Base)
+	}
+}
+
+func TestMemWindowString(t *testing.T) {
+	dev := testType3(t)
+	rp := trainedPort(t, dev)
+	h, err := Enumerate(0, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Windows[0].String(); !strings.Contains(s, "cxl-mem0") {
+		t.Errorf("window string = %q", s)
+	}
+}

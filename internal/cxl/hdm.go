@@ -1,0 +1,128 @@
+package cxl
+
+import (
+	"fmt"
+
+	"cxlpmem/internal/units"
+)
+
+// HDMDecoder translates host physical addresses (HPA) into device
+// physical addresses (DPA). A Type-3 device exposes its memory through
+// one or more decoders programmed by system software during enumeration;
+// with interleaving, consecutive interleave granules of the HPA window
+// rotate across a set of targets (CXL 2.0 switch-level pooling uses the
+// same structure).
+type HDMDecoder struct {
+	// Base is the first HPA covered by this decoder.
+	Base uint64
+	// Size is the window length in bytes.
+	Size uint64
+	// InterleaveWays is the number of targets the window rotates
+	// across (1 = no interleave).
+	InterleaveWays int
+	// InterleaveGranule is the rotation unit in bytes (256 B typical).
+	InterleaveGranule uint64
+	// TargetIndex is this device's position in the interleave set.
+	TargetIndex int
+	// DPABase is added to the decoded device-local offset.
+	DPABase uint64
+
+	committed bool
+}
+
+// Commit validates and locks the decoder, mirroring the lock-on-commit
+// behaviour of real HDM decoder registers.
+func (d *HDMDecoder) Commit() error {
+	if d.Size == 0 {
+		return fmt.Errorf("cxl: hdm: zero-size window")
+	}
+	if d.Base%uint64(units.CacheLine) != 0 {
+		return fmt.Errorf("cxl: hdm: base %#x not line-aligned", d.Base)
+	}
+	if d.InterleaveWays <= 0 {
+		d.InterleaveWays = 1
+	}
+	if d.InterleaveWays > 1 {
+		if d.InterleaveGranule == 0 {
+			d.InterleaveGranule = 256
+		}
+		if d.InterleaveGranule%uint64(units.CacheLine) != 0 {
+			return fmt.Errorf("cxl: hdm: granule %d not a multiple of the line size", d.InterleaveGranule)
+		}
+		if d.TargetIndex < 0 || d.TargetIndex >= d.InterleaveWays {
+			return fmt.Errorf("cxl: hdm: target index %d outside %d ways", d.TargetIndex, d.InterleaveWays)
+		}
+		if d.Size%(uint64(d.InterleaveWays)*d.InterleaveGranule) != 0 {
+			return fmt.Errorf("cxl: hdm: size %d not a multiple of ways*granule", d.Size)
+		}
+	}
+	d.committed = true
+	return nil
+}
+
+// Committed reports whether the decoder has been committed.
+func (d *HDMDecoder) Committed() bool { return d.committed }
+
+// Contains reports whether hpa falls inside the window and, for
+// interleaved windows, belongs to this target.
+func (d *HDMDecoder) Contains(hpa uint64) bool {
+	if !d.committed || hpa < d.Base || hpa >= d.Base+d.Size {
+		return false
+	}
+	if d.InterleaveWays <= 1 {
+		return true
+	}
+	off := hpa - d.Base
+	way := (off / d.InterleaveGranule) % uint64(d.InterleaveWays)
+	return int(way) == d.TargetIndex
+}
+
+// Decode translates hpa into a DPA. ok is false when the address is
+// outside the window or belongs to another interleave target.
+func (d *HDMDecoder) Decode(hpa uint64) (dpa uint64, ok bool) {
+	if !d.Contains(hpa) {
+		return 0, false
+	}
+	off := hpa - d.Base
+	if d.InterleaveWays <= 1 {
+		return d.DPABase + off, true
+	}
+	g := d.InterleaveGranule
+	chunk := off / (g * uint64(d.InterleaveWays)) // rotation round
+	within := off % g
+	return d.DPABase + chunk*g + within, true
+}
+
+// Encode is the inverse of Decode: it maps a device-local DPA back into
+// the HPA space. ok is false if dpa is outside the decoder's share.
+func (d *HDMDecoder) Encode(dpa uint64) (hpa uint64, ok bool) {
+	if !d.committed {
+		return 0, false
+	}
+	if dpa < d.DPABase {
+		return 0, false
+	}
+	local := dpa - d.DPABase
+	if d.InterleaveWays <= 1 {
+		if local >= d.Size {
+			return 0, false
+		}
+		return d.Base + local, true
+	}
+	g := d.InterleaveGranule
+	share := d.Size / uint64(d.InterleaveWays)
+	if local >= share {
+		return 0, false
+	}
+	chunk := local / g
+	within := local % g
+	off := chunk*(g*uint64(d.InterleaveWays)) + uint64(d.TargetIndex)*g + within
+	return d.Base + off, true
+}
+
+func (d *HDMDecoder) String() string {
+	if d.InterleaveWays > 1 {
+		return fmt.Sprintf("hdm[%#x+%#x, %d-way@%dB target %d]", d.Base, d.Size, d.InterleaveWays, d.InterleaveGranule, d.TargetIndex)
+	}
+	return fmt.Sprintf("hdm[%#x+%#x]", d.Base, d.Size)
+}

@@ -1,0 +1,158 @@
+package cxl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHDMSimpleDecode(t *testing.T) {
+	d := &HDMDecoder{Base: 0x10_0000_0000, Size: 16 << 30}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Committed() {
+		t.Fatal("not committed")
+	}
+	dpa, ok := d.Decode(0x10_0000_0000)
+	if !ok || dpa != 0 {
+		t.Errorf("Decode(base) = %d, %v", dpa, ok)
+	}
+	dpa, ok = d.Decode(0x10_0000_0040)
+	if !ok || dpa != 0x40 {
+		t.Errorf("Decode(base+64) = %d, %v", dpa, ok)
+	}
+	if _, ok := d.Decode(0x10_0000_0000 - 1); ok {
+		t.Error("decoded below base")
+	}
+	if _, ok := d.Decode(0x10_0000_0000 + 16<<30); ok {
+		t.Error("decoded past end")
+	}
+}
+
+func TestHDMDPABase(t *testing.T) {
+	d := &HDMDecoder{Base: 0x1000, Size: 0x1000, DPABase: 0x8000}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	dpa, ok := d.Decode(0x1040)
+	if !ok || dpa != 0x8040 {
+		t.Errorf("Decode = %#x, %v; want 0x8040", dpa, ok)
+	}
+}
+
+func TestHDMCommitValidation(t *testing.T) {
+	cases := []*HDMDecoder{
+		{Base: 0, Size: 0},    // zero size
+		{Base: 7, Size: 4096}, // unaligned base
+		{Base: 0, Size: 4096, InterleaveWays: 2, InterleaveGranule: 100},       // granule not line multiple
+		{Base: 0, Size: 4096, InterleaveWays: 2, TargetIndex: 2},               // target out of range
+		{Base: 0, Size: 4096 + 256, InterleaveWays: 2, InterleaveGranule: 256}, // size not ways*granule multiple
+		{Base: 0, Size: 1000, InterleaveWays: 4, InterleaveGranule: 256},       // ditto
+	}
+	for i, d := range cases {
+		if err := d.Commit(); err == nil {
+			t.Errorf("case %d: Commit accepted invalid decoder %+v", i, d)
+		}
+	}
+	// Uncommitted decoders decode nothing.
+	un := &HDMDecoder{Base: 0, Size: 4096}
+	if _, ok := un.Decode(0); ok {
+		t.Error("uncommitted decoder decoded")
+	}
+	if _, ok := un.Encode(0); ok {
+		t.Error("uncommitted decoder encoded")
+	}
+}
+
+func TestHDMInterleave(t *testing.T) {
+	// 2-way interleave at 256 B granule: even granules to target 0,
+	// odd to target 1.
+	mk := func(target int) *HDMDecoder {
+		d := &HDMDecoder{Base: 0, Size: 4096, InterleaveWays: 2, InterleaveGranule: 256, TargetIndex: target}
+		if err := d.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d0, d1 := mk(0), mk(1)
+	if !d0.Contains(0) || d1.Contains(0) {
+		t.Error("granule 0 should belong to target 0")
+	}
+	if d0.Contains(256) || !d1.Contains(256) {
+		t.Error("granule 1 should belong to target 1")
+	}
+	// DPA packing: target 0 sees granules 0,2,4.. packed contiguously.
+	dpa, ok := d0.Decode(512) // granule 2 -> second granule on target 0
+	if !ok || dpa != 256 {
+		t.Errorf("Decode(512) on t0 = %d, %v; want 256", dpa, ok)
+	}
+	dpa, ok = d1.Decode(256 + 17)
+	if !ok || dpa != 17 {
+		t.Errorf("Decode(273) on t1 = %d, %v; want 17", dpa, ok)
+	}
+}
+
+// Property: Decode and Encode are mutually inverse over the decoder's
+// address space, and every HPA in the window belongs to exactly one
+// target of an interleave set.
+func TestHDMBijectivityProperty(t *testing.T) {
+	f := func(waysRaw uint8, offRaw uint32) bool {
+		ways := int(waysRaw%4) + 1 // 1..4
+		granule := uint64(256)
+		size := uint64(ways) * granule * 64
+		decs := make([]*HDMDecoder, ways)
+		for i := range decs {
+			decs[i] = &HDMDecoder{
+				Base: 0x4000, Size: size,
+				InterleaveWays: ways, InterleaveGranule: granule, TargetIndex: i,
+			}
+			if err := decs[i].Commit(); err != nil {
+				return false
+			}
+		}
+		hpa := 0x4000 + uint64(offRaw)%size
+		owners := 0
+		for _, d := range decs {
+			if dpa, ok := d.Decode(hpa); ok {
+				owners++
+				back, ok2 := d.Encode(dpa)
+				if !ok2 || back != hpa {
+					return false
+				}
+			}
+		}
+		return owners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHDMEncodeOutOfRange(t *testing.T) {
+	d := &HDMDecoder{Base: 0x1000, Size: 0x1000, DPABase: 0x100}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Encode(0x50); ok {
+		t.Error("encoded DPA below DPABase")
+	}
+	if _, ok := d.Encode(0x100 + 0x1000); ok {
+		t.Error("encoded DPA past share")
+	}
+	hpa, ok := d.Encode(0x100)
+	if !ok || hpa != 0x1000 {
+		t.Errorf("Encode(DPABase) = %#x, %v", hpa, ok)
+	}
+}
+
+func TestHDMString(t *testing.T) {
+	d := &HDMDecoder{Base: 0, Size: 4096}
+	if d.String() == "" {
+		t.Error("empty string")
+	}
+	di := &HDMDecoder{Base: 0, Size: 4096, InterleaveWays: 2, InterleaveGranule: 256}
+	_ = di.Commit()
+	if di.String() == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,341 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Memory-device command interface (mailbox). CXL 2.0 Type-3 devices
+// expose a command mailbox through which system software identifies the
+// device, queries health, reads partition info and issues maintenance
+// operations — this is what the Linux `cxl` tooling drives. We model
+// the command set the paper's prototype would need: identification,
+// health (including the battery state its persistence story rests on),
+// partition info, poison-list management and sanitize.
+
+// MailboxOpcode selects a device command.
+type MailboxOpcode uint16
+
+// Supported commands (a subset of the CXL 2.0 command set, with the
+// spec's opcode numbers where we model the same operation).
+const (
+	// OpIdentifyMemDevice returns the device identity block (0x4000).
+	OpIdentifyMemDevice MailboxOpcode = 0x4000
+	// OpGetHealthInfo returns media health (0x4200).
+	OpGetHealthInfo MailboxOpcode = 0x4200
+	// OpGetPartitionInfo returns volatile/persistent split (0x4100).
+	OpGetPartitionInfo MailboxOpcode = 0x4100
+	// OpGetPoisonList returns the tracked poisoned lines (0x4300).
+	OpGetPoisonList MailboxOpcode = 0x4300
+	// OpInjectPoison marks a line poisoned (0x4301, debug capability).
+	OpInjectPoison MailboxOpcode = 0x4301
+	// OpClearPoison clears a poisoned line (0x4302).
+	OpClearPoison MailboxOpcode = 0x4302
+	// OpSanitize destroys all media content (0x4400).
+	OpSanitize MailboxOpcode = 0x4400
+)
+
+// MailboxStatus is the command return code.
+type MailboxStatus uint16
+
+const (
+	// MboxSuccess — command completed.
+	MboxSuccess MailboxStatus = 0
+	// MboxUnsupported — opcode not implemented.
+	MboxUnsupported MailboxStatus = 1
+	// MboxInvalidInput — malformed payload.
+	MboxInvalidInput MailboxStatus = 2
+	// MboxInternalError — device-side failure.
+	MboxInternalError MailboxStatus = 3
+)
+
+func (s MailboxStatus) String() string {
+	switch s {
+	case MboxSuccess:
+		return "success"
+	case MboxUnsupported:
+		return "unsupported"
+	case MboxInvalidInput:
+		return "invalid-input"
+	case MboxInternalError:
+		return "internal-error"
+	default:
+		return fmt.Sprintf("MailboxStatus(%d)", uint16(s))
+	}
+}
+
+// Identity is the OpIdentifyMemDevice response.
+type Identity struct {
+	Vendor      uint16
+	Device      uint16
+	TotalCap    uint64 // bytes
+	Persistent  bool
+	LineSize    uint32
+	PoisonMax   uint32
+	FirmwareRev string
+}
+
+// Health is the OpGetHealthInfo response.
+type Health struct {
+	// MediaOK is false after an unrecovered media fault.
+	MediaOK bool
+	// BatteryOK reports the backup power source (the paper's
+	// persistence guarantee).
+	BatteryOK bool
+	// PoisonedLines currently tracked.
+	PoisonedLines int
+	// LifeUsedPercent is wear (always 0 for DRAM media).
+	LifeUsedPercent int
+}
+
+// PartitionInfo is the OpGetPartitionInfo response. The paper's card is
+// all-persistent (battery over the whole HDM).
+type PartitionInfo struct {
+	VolatileBytes   uint64
+	PersistentBytes uint64
+}
+
+// Mailbox is the command engine attached to a Type-3 device.
+type Mailbox struct {
+	dev *Type3Device
+
+	mu     sync.Mutex
+	poison map[uint64]bool // line-aligned DPAs
+	fwRev  string
+}
+
+// poisonListMax bounds the tracked poison list, as real devices do.
+const poisonListMax = 256
+
+// NewMailbox attaches a command mailbox to a Type-3 device.
+func NewMailbox(dev *Type3Device, firmwareRev string) (*Mailbox, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("cxl: mailbox: nil device")
+	}
+	if firmwareRev == "" {
+		firmwareRev = "sim-1.0"
+	}
+	m := &Mailbox{dev: dev, poison: make(map[uint64]bool), fwRev: firmwareRev}
+	dev.SetPoisonChecker(m.IsPoisoned)
+	return m, nil
+}
+
+// Execute runs one command. in is the opcode-specific payload; out is
+// the opcode-specific response encoding.
+func (m *Mailbox) Execute(op MailboxOpcode, in []byte) (out []byte, status MailboxStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch op {
+	case OpIdentifyMemDevice:
+		return m.identify(), MboxSuccess
+	case OpGetHealthInfo:
+		return m.health(), MboxSuccess
+	case OpGetPartitionInfo:
+		return m.partition(), MboxSuccess
+	case OpGetPoisonList:
+		return m.poisonList(), MboxSuccess
+	case OpInjectPoison, OpClearPoison:
+		if len(in) != 8 {
+			return nil, MboxInvalidInput
+		}
+		dpa := binary.LittleEndian.Uint64(in)
+		if !lineAligned(dpa) || dpa >= uint64(m.dev.media.Capacity().Bytes()) {
+			return nil, MboxInvalidInput
+		}
+		if op == OpInjectPoison {
+			if len(m.poison) >= poisonListMax {
+				return nil, MboxInternalError
+			}
+			m.poison[dpa] = true
+		} else {
+			delete(m.poison, dpa)
+		}
+		return nil, MboxSuccess
+	case OpSanitize:
+		// Sanitize wipes the media regardless of battery: an explicit
+		// secure-erase, modelled by zero-filling every touched page.
+		if err := m.sanitize(); err != nil {
+			return nil, MboxInternalError
+		}
+		m.poison = make(map[uint64]bool)
+		return nil, MboxSuccess
+	default:
+		return nil, MboxUnsupported
+	}
+}
+
+func (m *Mailbox) identify() []byte {
+	id := Identity{
+		Vendor:      m.dev.cfg.VendorID(),
+		Device:      m.dev.cfg.DeviceID(),
+		TotalCap:    uint64(m.dev.media.Capacity().Bytes()),
+		Persistent:  m.dev.media.Persistent(),
+		LineSize:    uint32(LineSize),
+		PoisonMax:   poisonListMax,
+		FirmwareRev: m.fwRev,
+	}
+	return encodeIdentity(id)
+}
+
+func (m *Mailbox) health() []byte {
+	h := Health{
+		MediaOK:   true,
+		BatteryOK: m.dev.media.Persistent(),
+	}
+	h.PoisonedLines = len(m.poison)
+	out := make([]byte, 16)
+	if h.MediaOK {
+		out[0] = 1
+	}
+	if h.BatteryOK {
+		out[1] = 1
+	}
+	binary.LittleEndian.PutUint32(out[4:], uint32(h.PoisonedLines))
+	binary.LittleEndian.PutUint32(out[8:], uint32(h.LifeUsedPercent))
+	return out
+}
+
+func (m *Mailbox) partition() []byte {
+	out := make([]byte, 16)
+	cap := uint64(m.dev.media.Capacity().Bytes())
+	if m.dev.media.Persistent() {
+		binary.LittleEndian.PutUint64(out[8:], cap)
+	} else {
+		binary.LittleEndian.PutUint64(out[0:], cap)
+	}
+	return out
+}
+
+func (m *Mailbox) poisonList() []byte {
+	out := make([]byte, 4+8*len(m.poison))
+	binary.LittleEndian.PutUint32(out, uint32(len(m.poison)))
+	i := 0
+	// Deterministic order for tests: ascending.
+	lines := make([]uint64, 0, len(m.poison))
+	for dpa := range m.poison {
+		lines = append(lines, dpa)
+	}
+	for a := range lines {
+		for b := a + 1; b < len(lines); b++ {
+			if lines[b] < lines[a] {
+				lines[a], lines[b] = lines[b], lines[a]
+			}
+		}
+	}
+	for _, dpa := range lines {
+		binary.LittleEndian.PutUint64(out[4+8*i:], dpa)
+		i++
+	}
+	return out
+}
+
+func (m *Mailbox) sanitize() error {
+	// Zero the full media range in page-sized strides; the sparse
+	// store drops to zeros either way, but writing through the Device
+	// interface keeps stats and subclasses honest.
+	const stride = 1 << 20
+	zero := make([]byte, stride)
+	cap := m.dev.media.Capacity().Bytes()
+	for off := int64(0); off < cap; off += stride {
+		n := stride
+		if off+int64(n) > cap {
+			n = int(cap - off)
+		}
+		if err := m.dev.media.WriteAt(zero[:n], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsPoisoned reports whether a line-aligned DPA is on the poison list.
+func (m *Mailbox) IsPoisoned(dpa uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.poison[dpa&^uint64(LineSize-1)]
+}
+
+func encodeIdentity(id Identity) []byte {
+	fw := []byte(id.FirmwareRev)
+	if len(fw) > 16 {
+		fw = fw[:16]
+	}
+	out := make([]byte, 40)
+	binary.LittleEndian.PutUint16(out[0:], id.Vendor)
+	binary.LittleEndian.PutUint16(out[2:], id.Device)
+	binary.LittleEndian.PutUint64(out[4:], id.TotalCap)
+	if id.Persistent {
+		out[12] = 1
+	}
+	binary.LittleEndian.PutUint32(out[16:], id.LineSize)
+	binary.LittleEndian.PutUint32(out[20:], id.PoisonMax)
+	copy(out[24:], fw)
+	return out
+}
+
+// DecodeIdentity parses an OpIdentifyMemDevice response.
+func DecodeIdentity(b []byte) (Identity, error) {
+	if len(b) != 40 {
+		return Identity{}, fmt.Errorf("cxl: identity payload %d bytes, want 40", len(b))
+	}
+	id := Identity{
+		Vendor:     binary.LittleEndian.Uint16(b[0:]),
+		Device:     binary.LittleEndian.Uint16(b[2:]),
+		TotalCap:   binary.LittleEndian.Uint64(b[4:]),
+		Persistent: b[12] == 1,
+		LineSize:   binary.LittleEndian.Uint32(b[16:]),
+		PoisonMax:  binary.LittleEndian.Uint32(b[20:]),
+	}
+	id.FirmwareRev = trimNulStr(b[24:40])
+	return id, nil
+}
+
+// DecodeHealth parses an OpGetHealthInfo response.
+func DecodeHealth(b []byte) (Health, error) {
+	if len(b) != 16 {
+		return Health{}, fmt.Errorf("cxl: health payload %d bytes, want 16", len(b))
+	}
+	return Health{
+		MediaOK:         b[0] == 1,
+		BatteryOK:       b[1] == 1,
+		PoisonedLines:   int(binary.LittleEndian.Uint32(b[4:])),
+		LifeUsedPercent: int(binary.LittleEndian.Uint32(b[8:])),
+	}, nil
+}
+
+// DecodePartitionInfo parses an OpGetPartitionInfo response.
+func DecodePartitionInfo(b []byte) (PartitionInfo, error) {
+	if len(b) != 16 {
+		return PartitionInfo{}, fmt.Errorf("cxl: partition payload %d bytes, want 16", len(b))
+	}
+	return PartitionInfo{
+		VolatileBytes:   binary.LittleEndian.Uint64(b[0:]),
+		PersistentBytes: binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// DecodePoisonList parses an OpGetPoisonList response.
+func DecodePoisonList(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("cxl: poison payload too short")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if len(b) != int(4+8*n) {
+		return nil, fmt.Errorf("cxl: poison payload length mismatch")
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return out, nil
+}
+
+func trimNulStr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

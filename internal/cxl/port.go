@@ -1,0 +1,263 @@
+package cxl
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cxlpmem/internal/interconnect"
+)
+
+// LinkState tracks root-port link training.
+type LinkState int
+
+const (
+	// LinkDown — no endpoint attached or training failed.
+	LinkDown LinkState = iota
+	// LinkUp — training completed, transactions may flow.
+	LinkUp
+)
+
+func (s LinkState) String() string {
+	if s == LinkUp {
+		return "up"
+	}
+	return "down"
+}
+
+// RootPort is a host-side CXL port: the CPU's view of one PCIe/CXL slot.
+// It owns the physical link, performs link training against an attached
+// endpoint, and carries CXL.mem traffic to it. Every request/response
+// genuinely round-trips through the flit codec so protocol tests observe
+// real wire behaviour.
+type RootPort struct {
+	name string
+	link *interconnect.Link
+
+	endpoint Endpoint
+	state    LinkState
+	tag      atomic.Uint32
+
+	// FlitTrace, when non-nil, receives every flit the port moves
+	// (fault injection and protocol tests).
+	FlitTrace func(Flit)
+	// Fault, when non-nil, may corrupt a flit in flight (fault
+	// injection). The link-level retry state machine detects the CRC
+	// failure and retransmits, as CXL's LRSM does.
+	Fault func(Flit) Flit
+
+	retries atomic.Int64
+}
+
+// maxLinkRetries bounds retransmission before the port reports an
+// uncorrectable link error.
+const maxLinkRetries = 3
+
+// Retries reports how many link-level retransmissions occurred.
+func (rp *RootPort) Retries() int64 { return rp.retries.Load() }
+
+// NewRootPort builds a root port over the given physical link.
+func NewRootPort(name string, link *interconnect.Link) *RootPort {
+	return &RootPort{name: name, link: link}
+}
+
+// Name returns the port name.
+func (rp *RootPort) Name() string { return rp.name }
+
+// Link returns the physical link.
+func (rp *RootPort) Link() *interconnect.Link { return rp.link }
+
+// State returns the link state.
+func (rp *RootPort) State() LinkState { return rp.state }
+
+// Endpoint returns the attached endpoint, or nil.
+func (rp *RootPort) Endpoint() Endpoint { return rp.endpoint }
+
+// Attach trains the link against ep. Training succeeds only if the
+// endpoint's config space carries a valid CXL DVSEC (alternate-protocol
+// negotiation: a plain PCIe card would not present one).
+func (rp *RootPort) Attach(ep Endpoint) error {
+	if rp.endpoint != nil {
+		return fmt.Errorf("cxl: %s: port already has endpoint %s", rp.name, rp.endpoint.Name())
+	}
+	if ep == nil {
+		return fmt.Errorf("cxl: %s: nil endpoint", rp.name)
+	}
+	dvsec, ok := ep.Config().FindCXLDVSEC()
+	if !ok {
+		return fmt.Errorf("cxl: %s: endpoint %s has no CXL DVSEC; link training failed", rp.name, ep.Name())
+	}
+	if dvsec.Caps&CapIO == 0 {
+		return fmt.Errorf("cxl: %s: endpoint %s does not advertise CXL.io", rp.name, ep.Name())
+	}
+	rp.endpoint = ep
+	rp.state = LinkUp
+	return nil
+}
+
+// Detach brings the link down and releases the endpoint.
+func (rp *RootPort) Detach() {
+	rp.endpoint = nil
+	rp.state = LinkDown
+}
+
+// PortError reports a transaction-level failure at a port.
+type PortError struct {
+	Port string
+	Op   string
+	Addr uint64
+	Why  string
+}
+
+func (e *PortError) Error() string {
+	return fmt.Sprintf("cxl: %s: %s @%#x: %s", e.Port, e.Op, e.Addr, e.Why)
+}
+
+// transact moves one request through the flit codec to the endpoint and
+// decodes the response.
+func (rp *RootPort) transact(req MemReq) (MemResp, error) {
+	if rp.state != LinkUp || rp.endpoint == nil {
+		return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "link down"}
+	}
+	req.Tag = uint16(rp.tag.Add(1))
+
+	// Request direction with link-level retry: a flit corrupted in
+	// flight fails its CRC at the receiver, which NAKs; the sender
+	// retransmits from its retry buffer.
+	var decoded MemReq
+	var err error
+	for attempt := 0; ; attempt++ {
+		f := EncodeReq(req)
+		if rp.Fault != nil {
+			f = rp.Fault(f)
+		}
+		if rp.FlitTrace != nil {
+			rp.FlitTrace(f)
+		}
+		decoded, err = DecodeReq(f)
+		if err == nil {
+			break
+		}
+		if attempt >= maxLinkRetries {
+			return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
+		}
+		rp.retries.Add(1)
+	}
+	resp := rp.endpoint.HandleMem(decoded)
+
+	// Response direction, same protection.
+	var out MemResp
+	for attempt := 0; ; attempt++ {
+		rf := EncodeResp(resp)
+		if rp.Fault != nil {
+			rf = rp.Fault(rf)
+		}
+		if rp.FlitTrace != nil {
+			rp.FlitTrace(rf)
+		}
+		out, err = DecodeResp(rf)
+		if err == nil {
+			break
+		}
+		if attempt >= maxLinkRetries {
+			return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
+		}
+		rp.retries.Add(1)
+	}
+	if out.Tag != req.Tag {
+		return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", req.Tag, out.Tag)}
+	}
+	return out, nil
+}
+
+// ReadLine fetches the 64-byte line at hpa.
+func (rp *RootPort) ReadLine(hpa uint64, out *[LineSize]byte) error {
+	if !lineAligned(hpa) {
+		return &PortError{Port: rp.name, Op: "MemRd", Addr: hpa, Why: "unaligned"}
+	}
+	resp, err := rp.transact(MemReq{Opcode: OpMemRd, Addr: hpa})
+	if err != nil {
+		return err
+	}
+	if resp.Opcode != RespMemData {
+		return &PortError{Port: rp.name, Op: "MemRd", Addr: hpa, Why: "response " + resp.Opcode.String()}
+	}
+	*out = resp.Data
+	return nil
+}
+
+// WriteLine stores a full 64-byte line at hpa.
+func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
+	if !lineAligned(hpa) {
+		return &PortError{Port: rp.name, Op: "MemWr", Addr: hpa, Why: "unaligned"}
+	}
+	resp, err := rp.transact(MemReq{Opcode: OpMemWr, Addr: hpa, Data: *data})
+	if err != nil {
+		return err
+	}
+	if resp.Opcode != RespCmp {
+		return &PortError{Port: rp.name, Op: "MemWr", Addr: hpa, Why: "response " + resp.Opcode.String()}
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes from HPA off, chunking into line requests.
+// Unaligned heads/tails are handled with full-line reads.
+func (rp *RootPort) ReadAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	for len(p) > 0 {
+		base := hpa &^ uint64(LineSize-1)
+		lo := int(hpa - base)
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		var line [LineSize]byte
+		if err := rp.ReadLine(base, &line); err != nil {
+			return err
+		}
+		copy(p[:n], line[lo:lo+n])
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt stores p at HPA off. Full interior lines use MemWr; unaligned
+// head/tail lines use MemWrPtl with a byte mask, exactly as a write-
+// combining host interface would.
+func (rp *RootPort) WriteAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	for len(p) > 0 {
+		base := hpa &^ uint64(LineSize-1)
+		lo := int(hpa - base)
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		if lo == 0 && n == LineSize {
+			var line [LineSize]byte
+			copy(line[:], p[:LineSize])
+			if err := rp.WriteLine(base, &line); err != nil {
+				return err
+			}
+		} else {
+			var req MemReq
+			req.Opcode = OpMemWrPtl
+			req.Addr = base
+			copy(req.Data[lo:lo+n], p[:n])
+			for i := lo; i < lo+n; i++ {
+				req.Mask |= 1 << uint(i)
+			}
+			resp, err := rp.transact(req)
+			if err != nil {
+				return err
+			}
+			if resp.Opcode != RespCmp {
+				return &PortError{Port: rp.name, Op: "MemWrPtl", Addr: base, Why: "response " + resp.Opcode.String()}
+			}
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	return nil
+}

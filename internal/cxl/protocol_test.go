@@ -1,0 +1,223 @@
+package cxl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitReqRoundTrip(t *testing.T) {
+	var req MemReq
+	req.Opcode = OpMemWr
+	req.Addr = 0x10_0000_0040
+	req.Tag = 0xBEEF
+	req.Mask = 0xFFFF_0000_FFFF_0000
+	for i := range req.Data {
+		req.Data[i] = byte(i * 3)
+	}
+	got, err := DecodeReq(EncodeReq(req))
+	if err != nil {
+		t.Fatalf("DecodeReq: %v", err)
+	}
+	if got != req {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestFlitRespRoundTrip(t *testing.T) {
+	var resp MemResp
+	resp.Opcode = RespMemData
+	resp.Tag = 7
+	for i := range resp.Data {
+		resp.Data[i] = byte(255 - i)
+	}
+	got, err := DecodeResp(EncodeResp(resp))
+	if err != nil {
+		t.Fatalf("DecodeResp: %v", err)
+	}
+	if got != resp {
+		t.Errorf("round trip mismatch")
+	}
+}
+
+// Property: every well-formed request survives encode/decode.
+func TestFlitReqRoundTripProperty(t *testing.T) {
+	f := func(op uint8, addr uint64, tag uint16, mask uint64, seed byte) bool {
+		var req MemReq
+		req.Opcode = MemOpcode(op % 4)
+		req.Addr = addr
+		req.Tag = tag
+		req.Mask = mask
+		for i := range req.Data {
+			req.Data[i] = seed + byte(i)
+		}
+		got, err := DecodeReq(EncodeReq(req))
+		return err == nil && got == req
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptedFlitDetected(t *testing.T) {
+	req := MemReq{Opcode: OpMemRd, Addr: 0x40}
+	f := EncodeReq(req)
+	bad := f.Corrupt(13)
+	if _, err := DecodeReq(bad); err == nil {
+		t.Error("corrupted flit decoded without error")
+	}
+	// Every single-bit payload corruption must be caught.
+	for bit := 0; bit < 64*8; bit += 37 {
+		if _, err := DecodeReq(f.Corrupt(bit)); err == nil {
+			t.Errorf("bit %d corruption not detected", bit)
+		}
+	}
+}
+
+func TestDecodeKindMismatch(t *testing.T) {
+	req := EncodeReq(MemReq{Opcode: OpMemRd})
+	if _, err := DecodeResp(req); err == nil {
+		t.Error("decoded request flit as response")
+	}
+	resp := EncodeResp(MemResp{Opcode: RespCmp})
+	if _, err := DecodeReq(resp); err == nil {
+		t.Error("decoded response flit as request")
+	}
+}
+
+func TestDecodeTruncatedFlit(t *testing.T) {
+	if _, err := DecodeReq(Flit{raw: make([]byte, 10)}); err == nil {
+		t.Error("truncated flit accepted")
+	}
+	var e *ErrFlit
+	_, err := DecodeReq(Flit{})
+	if err == nil {
+		t.Fatal("empty flit accepted")
+	}
+	var ok bool
+	e, ok = err.(*ErrFlit)
+	if !ok || e.Error() == "" {
+		t.Errorf("err = %v, want *ErrFlit", err)
+	}
+}
+
+func TestWireCosts(t *testing.T) {
+	if WireFlits(false) != 1 || WireFlits(true) != 2 {
+		t.Error("WireFlits mismatch")
+	}
+	// Read: 1 req flit + 2 data flits = 3*68.
+	if got := WireBytes(OpMemRd); got != 3*FlitSize {
+		t.Errorf("read wire bytes = %d, want %d", got, 3*FlitSize)
+	}
+	if got := WireBytes(OpMemWr); got != 3*FlitSize {
+		t.Errorf("write wire bytes = %d, want %d", got, 3*FlitSize)
+	}
+	if got := WireBytes(OpMemInv); got != 2*FlitSize {
+		t.Errorf("inv wire bytes = %d, want %d", got, 2*FlitSize)
+	}
+	eff := ProtocolEfficiency()
+	if eff <= 0.4 || eff >= 0.5 {
+		t.Errorf("protocol efficiency = %v, want in (0.4, 0.5): 64/136", eff)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for _, o := range []MemOpcode{OpMemInv, OpMemRd, OpMemWr, OpMemWrPtl, MemOpcode(9)} {
+		if o.String() == "" {
+			t.Errorf("empty string for %d", o)
+		}
+	}
+	for _, o := range []RespOpcode{RespCmp, RespMemData, RespErr, RespOpcode(9)} {
+		if o.String() == "" {
+			t.Errorf("empty string for %d", o)
+		}
+	}
+}
+
+func TestConfigSpaceIdentity(t *testing.T) {
+	var cs ConfigSpace
+	cs.InitIdentity(0x8086, 0x0DDD, ClassMemoryCXL)
+	if cs.VendorID() != 0x8086 {
+		t.Errorf("vendor = %#x", cs.VendorID())
+	}
+	if cs.DeviceID() != 0x0DDD {
+		t.Errorf("device = %#x", cs.DeviceID())
+	}
+	if cs.ClassCode() != ClassMemoryCXL {
+		t.Errorf("class = %#x", cs.ClassCode())
+	}
+}
+
+func TestConfigSpaceDVSEC(t *testing.T) {
+	var cs ConfigSpace
+	if _, ok := cs.FindCXLDVSEC(); ok {
+		t.Error("empty config space reported a DVSEC")
+	}
+	cs.InstallCXLDVSEC(CapIO|CapMem, 16<<30)
+	info, ok := cs.FindCXLDVSEC()
+	if !ok {
+		t.Fatal("installed DVSEC not found")
+	}
+	if info.Caps != CapIO|CapMem {
+		t.Errorf("caps = %v", info.Caps)
+	}
+	if info.HDMSize != 16<<30 {
+		t.Errorf("hdm size = %d", info.HDMSize)
+	}
+}
+
+func TestConfigSpaceRegisterAccess(t *testing.T) {
+	var cs ConfigSpace
+	if err := cs.Write32(0x200, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cs.Read32(0x200)
+	if err != nil || v != 0xDEADBEEF {
+		t.Errorf("Read32 = %#x, %v", v, err)
+	}
+	if _, err := cs.Read32(ConfigSpaceSize - 2); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := cs.Write32(-4, 0); err == nil {
+		t.Error("negative offset accepted")
+	}
+	var ce *ConfigError
+	_, err = cs.Read32(ConfigSpaceSize)
+	if ce, _ = err.(*ConfigError); ce == nil || ce.Error() == "" {
+		t.Errorf("err = %v, want *ConfigError", err)
+	}
+}
+
+func TestCapabilityBitsString(t *testing.T) {
+	cases := map[CapabilityBits]string{
+		0:                         "none",
+		CapIO:                     "io",
+		CapIO | CapMem:            "io+mem",
+		CapCache | CapIO | CapMem: "cache+io+mem",
+	}
+	for caps, want := range cases {
+		if got := caps.String(); got != want {
+			t.Errorf("caps %d = %q, want %q", caps, got, want)
+		}
+	}
+}
+
+func TestPayloadIntegrityThroughFlits(t *testing.T) {
+	// A payload pushed through encode/decode twice is bit-identical.
+	var data [LineSize]byte
+	for i := range data {
+		data[i] = byte(i ^ 0x5A)
+	}
+	req := MemReq{Opcode: OpMemWr, Addr: 0x1000, Data: data}
+	d1, err := DecodeReq(EncodeReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeReq(EncodeReq(d1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d2.Data[:], data[:]) {
+		t.Error("payload corrupted through double encode")
+	}
+}

@@ -1,0 +1,225 @@
+package cxl
+
+import (
+	"fmt"
+	"sync"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// CXL 2.0 switching and pooling (paper §1.3: "CXL 2.0 expands the
+// specification – among other capabilities – to memory pools using CXL
+// switches on a device level"). A Switch exposes virtual PCIe-to-PCIe
+// bridges (vPPBs) upstream — one per host — and binds each to a
+// downstream endpoint, or to one logical device of a Multi-Logical
+// Device (MLD) whose capacity is partitioned among hosts.
+
+// Switch is a CXL 2.0 switch.
+type Switch struct {
+	name string
+
+	mu         sync.RWMutex
+	downstream map[string]Endpoint // port name -> device
+	bindings   map[string]string   // vPPB (host port) -> downstream port
+}
+
+// NewSwitch builds an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{
+		name:       name,
+		downstream: make(map[string]Endpoint),
+		bindings:   make(map[string]string),
+	}
+}
+
+// Name returns the switch name.
+func (sw *Switch) Name() string { return sw.name }
+
+// AddDownstream attaches an endpoint to a named downstream port.
+func (sw *Switch) AddDownstream(port string, ep Endpoint) error {
+	if ep == nil {
+		return fmt.Errorf("cxl: switch %s: nil endpoint", sw.name)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.downstream[port]; ok {
+		return fmt.Errorf("cxl: switch %s: downstream port %s already populated", sw.name, port)
+	}
+	sw.downstream[port] = ep
+	return nil
+}
+
+// Bind connects a host-facing vPPB to a downstream port. A downstream
+// device may be bound to at most one vPPB at a time (single-logical-
+// device semantics; MLDs are partitioned first, then each logical device
+// is bound independently).
+func (sw *Switch) Bind(vppb, downstreamPort string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.downstream[downstreamPort]; !ok {
+		return fmt.Errorf("cxl: switch %s: no downstream port %s", sw.name, downstreamPort)
+	}
+	if existing, ok := sw.bindings[vppb]; ok {
+		return fmt.Errorf("cxl: switch %s: vPPB %s already bound to %s", sw.name, vppb, existing)
+	}
+	for v, d := range sw.bindings {
+		if d == downstreamPort {
+			return fmt.Errorf("cxl: switch %s: downstream %s already bound to vPPB %s", sw.name, downstreamPort, v)
+		}
+	}
+	sw.bindings[vppb] = downstreamPort
+	return nil
+}
+
+// Unbind releases a vPPB, returning its device to the pool.
+func (sw *Switch) Unbind(vppb string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.bindings[vppb]; !ok {
+		return fmt.Errorf("cxl: switch %s: vPPB %s not bound", sw.name, vppb)
+	}
+	delete(sw.bindings, vppb)
+	return nil
+}
+
+// EndpointFor resolves the endpoint visible through a vPPB.
+func (sw *Switch) EndpointFor(vppb string) (Endpoint, bool) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	port, ok := sw.bindings[vppb]
+	if !ok {
+		return nil, false
+	}
+	ep, ok := sw.downstream[port]
+	return ep, ok
+}
+
+// Bindings returns a copy of the current vPPB map.
+func (sw *Switch) Bindings() map[string]string {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	out := make(map[string]string, len(sw.bindings))
+	for k, v := range sw.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// MLD is a Multi-Logical Device: one physical Type-3 device whose
+// capacity is partitioned into logical devices, each presentable to a
+// different host. This is CXL 2.0's device-level pooling mechanism.
+type MLD struct {
+	name  string
+	media memdev.Device
+
+	mu         sync.Mutex
+	partitions []*LogicalDevice
+	nextDPA    uint64
+}
+
+// NewMLD wraps media as a poolable multi-logical device.
+func NewMLD(name string, media memdev.Device) (*MLD, error) {
+	if media == nil {
+		return nil, fmt.Errorf("cxl: mld %s: nil media", name)
+	}
+	return &MLD{name: name, media: media}, nil
+}
+
+// Name returns the MLD name.
+func (m *MLD) Name() string { return m.name }
+
+// Remaining reports unpartitioned capacity.
+func (m *MLD) Remaining() units.Size {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return units.Size(uint64(m.media.Capacity().Bytes()) - m.nextDPA)
+}
+
+// Carve allocates a logical device of the given size from the pool. The
+// returned LogicalDevice is a full CXL Type-3 endpoint restricted to its
+// partition (dynamic capacity in CXL 2.0/3.0 terms).
+func (m *MLD) Carve(name string, size units.Size) (*LogicalDevice, error) {
+	if size <= 0 || size%units.CacheLine != 0 {
+		return nil, fmt.Errorf("cxl: mld %s: invalid partition size %d", m.name, size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nextDPA+uint64(size) > uint64(m.media.Capacity().Bytes()) {
+		return nil, fmt.Errorf("cxl: mld %s: partition %s exceeds remaining capacity", m.name, size)
+	}
+	ld := &LogicalDevice{
+		mld:  m,
+		base: m.nextDPA,
+		size: uint64(size),
+	}
+	var err error
+	ld.view = &partitionView{m: m, base: m.nextDPA, size: uint64(size)}
+	ld.Type3Device, err = newType3FromView(name, ld.view)
+	if err != nil {
+		return nil, err
+	}
+	m.nextDPA += uint64(size)
+	m.partitions = append(m.partitions, ld)
+	return ld, nil
+}
+
+// LogicalDevice is one partition of an MLD, usable as an Endpoint.
+type LogicalDevice struct {
+	*Type3Device
+	mld  *MLD
+	base uint64
+	size uint64
+	view *partitionView
+}
+
+// Partition reports the device-local window inside the MLD.
+func (ld *LogicalDevice) Partition() (base, size uint64) { return ld.base, ld.size }
+
+// partitionView restricts a media device to a sub-range, implementing
+// memdev.Device so the Type-3 machinery is reused unchanged.
+type partitionView struct {
+	m     *MLD
+	base  uint64
+	size  uint64
+	stats memdev.Stats
+}
+
+func (v *partitionView) Name() string { return v.m.media.Name() + "-part" }
+func (v *partitionView) Capacity() units.Size {
+	return units.Size(v.size)
+}
+func (v *partitionView) Persistent() bool        { return v.m.media.Persistent() }
+func (v *partitionView) Profile() memdev.Profile { return v.m.media.Profile() }
+func (v *partitionView) Stats() *memdev.Stats    { return &v.stats }
+func (v *partitionView) PowerCycle()             { v.m.media.PowerCycle() }
+
+func (v *partitionView) ReadAt(p []byte, off int64) error {
+	if off < 0 || uint64(off)+uint64(len(p)) > v.size {
+		return &memdev.AddrError{Device: v.Name(), Off: off, Len: len(p), Cap: v.Capacity()}
+	}
+	if err := v.m.media.ReadAt(p, int64(v.base)+off); err != nil {
+		return err
+	}
+	v.stats.Reads.Add(1)
+	v.stats.BytesRead.Add(int64(len(p)))
+	return nil
+}
+
+func (v *partitionView) WriteAt(p []byte, off int64) error {
+	if off < 0 || uint64(off)+uint64(len(p)) > v.size {
+		return &memdev.AddrError{Device: v.Name(), Off: off, Len: len(p), Cap: v.Capacity()}
+	}
+	if err := v.m.media.WriteAt(p, int64(v.base)+off); err != nil {
+		return err
+	}
+	v.stats.Writes.Add(1)
+	v.stats.BytesWrite.Add(int64(len(p)))
+	return nil
+}
+
+// newType3FromView builds a Type-3 endpoint over a partition view with a
+// generic vendor identity.
+func newType3FromView(name string, view memdev.Device) (*Type3Device, error) {
+	return NewType3(name, CXLVendorID, 0x0D93, view)
+}

@@ -1,0 +1,201 @@
+package cxl
+
+import (
+	"testing"
+
+	"cxlpmem/internal/interconnect"
+	"cxlpmem/internal/units"
+)
+
+func TestSwitchBindUnbind(t *testing.T) {
+	sw := NewSwitch("sw0")
+	if sw.Name() != "sw0" {
+		t.Error("name")
+	}
+	dev := testType3(t)
+	if err := sw.AddDownstream("dsp0", dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddDownstream("dsp0", dev); err == nil {
+		t.Error("duplicate downstream accepted")
+	}
+	if err := sw.AddDownstream("dsp1", nil); err == nil {
+		t.Error("nil endpoint accepted")
+	}
+	if err := sw.Bind("host0", "dsp0"); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := sw.EndpointFor("host0")
+	if !ok || ep != Endpoint(dev) {
+		t.Error("EndpointFor after bind")
+	}
+	// Exclusive binding.
+	if err := sw.Bind("host1", "dsp0"); err == nil {
+		t.Error("double-bound one downstream device")
+	}
+	if err := sw.Bind("host0", "dsp0"); err == nil {
+		t.Error("rebound an occupied vPPB")
+	}
+	if err := sw.Bind("host1", "nope"); err == nil {
+		t.Error("bound to missing downstream")
+	}
+	if got := sw.Bindings(); len(got) != 1 || got["host0"] != "dsp0" {
+		t.Errorf("bindings = %v", got)
+	}
+	if err := sw.Unbind("host0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Unbind("host0"); err == nil {
+		t.Error("double unbind accepted")
+	}
+	if _, ok := sw.EndpointFor("host0"); ok {
+		t.Error("endpoint visible after unbind")
+	}
+	// After unbind, another host can claim the device (pooling).
+	if err := sw.Bind("host1", "dsp0"); err != nil {
+		t.Errorf("rebind after release failed: %v", err)
+	}
+}
+
+func TestMLDPartitioning(t *testing.T) {
+	media := testMedia(t, "pool") // 16 MiB
+	mld, err := NewMLD("mld0", media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mld.Name() != "mld0" {
+		t.Error("name")
+	}
+	if _, err := NewMLD("x", nil); err == nil {
+		t.Error("nil media accepted")
+	}
+	ldA, err := mld.Carve("ld-hostA", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldB, err := mld.Carve("ld-hostB", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mld.Remaining() != 0 {
+		t.Errorf("remaining = %v, want 0", mld.Remaining())
+	}
+	if _, err := mld.Carve("ld-c", units.MiB); err == nil {
+		t.Error("carved past capacity")
+	}
+	if _, err := mld.Carve("ld-d", 33); err == nil {
+		t.Error("accepted unaligned partition size")
+	}
+	baseA, sizeA := ldA.Partition()
+	baseB, _ := ldB.Partition()
+	if baseA != 0 || sizeA != uint64(8*units.MiB) || baseB != uint64(8*units.MiB) {
+		t.Errorf("partitions: A=%d+%d B=%d", baseA, sizeA, baseB)
+	}
+}
+
+func TestMLDPartitionsAreIsolated(t *testing.T) {
+	media := testMedia(t, "pool")
+	mld, err := NewMLD("mld0", media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldA, err := mld.Carve("ldA", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldB, err := mld.Carve("ldB", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ldA.ProgramDecoder(&HDMDecoder{Base: 0x1000_0000, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ldB.ProgramDecoder(&HDMDecoder{Base: 0x1000_0000, Size: 8 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var line [LineSize]byte
+	line[0] = 0xA1
+	if resp := ldA.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0x1000_0000, Data: line}); resp.Opcode != RespCmp {
+		t.Fatal("write to A failed")
+	}
+	// Same HPA through B must see B's partition (zeros), not A's data.
+	resp := ldB.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0x1000_0000})
+	if resp.Opcode != RespMemData {
+		t.Fatal("read from B failed")
+	}
+	if resp.Data[0] != 0 {
+		t.Error("partition isolation violated: B sees A's write")
+	}
+	// And the same HPA through A still sees the data.
+	resp = ldA.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0x1000_0000})
+	if resp.Data[0] != 0xA1 {
+		t.Error("A lost its own write")
+	}
+}
+
+func TestPooledDevicesThroughSwitchEndToEnd(t *testing.T) {
+	// Two hosts, one switch, one MLD carved in two: each host
+	// enumerates its own logical device and gets a disjoint window.
+	media := testMedia(t, "pool")
+	mld, err := NewMLD("mld0", media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldA, err := mld.Carve("ldA", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldB, err := mld.Carve("ldB", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch("sw0")
+	if err := sw.AddDownstream("d0", ldA); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddDownstream("d1", ldB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bind("hostA", "d0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bind("hostB", "d1"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, host := range []string{"hostA", "hostB"} {
+		ep, ok := sw.EndpointFor(host)
+		if !ok {
+			t.Fatalf("%s: no endpoint", host)
+		}
+		link, _ := interconnect.NewPCIe("l-"+host, interconnect.KindPCIe5, 16, 0)
+		rp := NewRootPort("rp-"+host, link)
+		if err := rp.Attach(ep); err != nil {
+			t.Fatal(err)
+		}
+		h, err := Enumerate(0, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Windows) != 1 {
+			t.Fatalf("%s: windows = %d", host, len(h.Windows))
+		}
+		payload := []byte(host + " private data")
+		if err := rp.WriteAt(payload, int64(h.Windows[0].Base)); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, len(payload))
+		if err := rp.ReadAt(out, int64(h.Windows[0].Base)); err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(payload) {
+			t.Errorf("%s: round trip = %q", host, out)
+		}
+	}
+	// Isolation: hostB's window starts with its own data, not hostA's.
+	epB, _ := sw.EndpointFor("hostB")
+	resp := epB.HandleMem(MemReq{Opcode: OpMemRd, Addr: DefaultCXLWindowBase})
+	if got := string(resp.Data[:5]); got != "hostB" {
+		t.Errorf("hostB window begins %q, want its own data", got)
+	}
+}

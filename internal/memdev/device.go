@@ -1,0 +1,263 @@
+// Package memdev models the byte-addressable memory media the paper
+// attaches to its two experimental hosts: on-node DDR4 and DDR5 DIMMs,
+// the DDR4 modules on the CXL FPGA prototype, and — as the published
+// comparison baseline — an Intel Optane DCPMM module.
+//
+// A device stores real bytes (sparsely, so a 64 GiB DIMM costs nothing
+// until touched) and carries a performance profile consumed by the
+// analytic bandwidth engine in internal/perf. Media persistence is a
+// property of the device: battery-backed or otherwise non-volatile
+// devices survive PowerCycle, plain DRAM does not (paper §1.4: the CXL
+// module sits outside the node and can be battery-backed once for all
+// compute nodes).
+package memdev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cxlpmem/internal/units"
+)
+
+// Kind classifies the media technology of a device.
+type Kind int
+
+const (
+	// KindDRAM is a conventional volatile DIMM (DDR4 or DDR5).
+	KindDRAM Kind = iota
+	// KindCXLHDM is host-managed device memory behind a CXL endpoint
+	// (the paper's FPGA-attached DDR4, battery-backed).
+	KindCXLHDM
+	// KindDCPMM is an Intel Optane DC Persistent Memory module.
+	KindDCPMM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDRAM:
+		return "DRAM"
+	case KindCXLHDM:
+		return "CXL-HDM"
+	case KindDCPMM:
+		return "DCPMM"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Profile is the raw performance envelope of the media itself, before any
+// fabric (UPI/CXL) costs. internal/perf layers link latency and caps on
+// top of this.
+type Profile struct {
+	// ReadPeak and WritePeak are the sustainable media bandwidths.
+	// Symmetric for DRAM; strongly asymmetric for DCPMM (6.6 vs 2.3
+	// GB/s published, paper §1.4).
+	ReadPeak  units.Bandwidth
+	WritePeak units.Bandwidth
+	// IdleLatency is the unloaded media access latency.
+	IdleLatency units.Latency
+	// Kind of the underlying technology.
+	Kind Kind
+}
+
+// StreamPeak returns the sustainable bandwidth for a traffic mix with the
+// given read fraction in [0,1]. Reads and writes share the media in
+// proportion to the mix; the combined rate is the harmonic composition of
+// the two peaks, which reproduces the strong write penalty of DCPMM while
+// leaving symmetric DRAM unchanged.
+func (p Profile) StreamPeak(readFrac float64) units.Bandwidth {
+	if readFrac < 0 {
+		readFrac = 0
+	}
+	if readFrac > 1 {
+		readFrac = 1
+	}
+	r := float64(p.ReadPeak)
+	w := float64(p.WritePeak)
+	if r <= 0 || w <= 0 {
+		return 0
+	}
+	inv := readFrac/r + (1-readFrac)/w
+	if inv <= 0 {
+		return 0
+	}
+	return units.Bandwidth(1 / inv)
+}
+
+// Stats counts accesses to a device. All fields are updated atomically and
+// may be read concurrently.
+type Stats struct {
+	Reads      atomic.Int64
+	Writes     atomic.Int64
+	BytesRead  atomic.Int64
+	BytesWrite atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() (reads, writes, bytesRead, bytesWritten int64) {
+	return s.Reads.Load(), s.Writes.Load(), s.BytesRead.Load(), s.BytesWrite.Load()
+}
+
+// Device is a byte-addressable memory medium.
+type Device interface {
+	// Name identifies the device (e.g. "ddr5-socket0", "cxl-hdm").
+	Name() string
+	// Capacity is the addressable size in bytes.
+	Capacity() units.Size
+	// Persistent reports whether contents survive PowerCycle.
+	Persistent() bool
+	// Profile returns the media performance envelope.
+	Profile() Profile
+	// ReadAt copies len(p) bytes from offset off into p.
+	ReadAt(p []byte, off int64) error
+	// WriteAt copies p to offset off.
+	WriteAt(p []byte, off int64) error
+	// PowerCycle simulates a power loss and restore. Volatile devices
+	// lose all contents; persistent devices retain them.
+	PowerCycle()
+	// Stats exposes access counters.
+	Stats() *Stats
+}
+
+// AddrError reports an out-of-range access.
+type AddrError struct {
+	Device string
+	Off    int64
+	Len    int
+	Cap    units.Size
+}
+
+func (e *AddrError) Error() string {
+	return fmt.Sprintf("memdev: %s: access [%d, %d) outside capacity %d",
+		e.Device, e.Off, e.Off+int64(e.Len), e.Cap.Bytes())
+}
+
+// pageSize is the sparse-storage granule. 2 MiB mirrors the huge pages a
+// DAX mapping would use and keeps the page map small.
+const pageSize = 2 << 20
+
+// sparseStore is a lazily allocated byte store. Untouched regions read as
+// zero. It is safe for concurrent use.
+type sparseStore struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte // page index -> pageSize bytes
+	cap   int64
+}
+
+func newSparseStore(capacity units.Size) *sparseStore {
+	return &sparseStore{pages: make(map[int64][]byte), cap: capacity.Bytes()}
+}
+
+func (s *sparseStore) check(off int64, n int) bool {
+	return off >= 0 && n >= 0 && off+int64(n) <= s.cap
+}
+
+func (s *sparseStore) readAt(p []byte, off int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for len(p) > 0 {
+		idx := off / pageSize
+		po := off % pageSize
+		n := pageSize - po
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		if pg, ok := s.pages[idx]; ok {
+			copy(p[:n], pg[po:po+n])
+		} else {
+			for i := range p[:n] {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+}
+
+func (s *sparseStore) writeAt(p []byte, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(p) > 0 {
+		idx := off / pageSize
+		po := off % pageSize
+		n := pageSize - po
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		pg, ok := s.pages[idx]
+		if !ok {
+			pg = make([]byte, pageSize)
+			s.pages[idx] = pg
+		}
+		copy(pg[po:po+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+func (s *sparseStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = make(map[int64][]byte)
+}
+
+// touchedPages reports how many pages have been materialised (test hook).
+func (s *sparseStore) touchedPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// baseDevice implements the storage and bookkeeping shared by all device
+// models.
+type baseDevice struct {
+	name       string
+	capacity   units.Size
+	persistent bool
+	profile    Profile
+	store      *sparseStore
+	stats      Stats
+}
+
+func newBaseDevice(name string, capacity units.Size, persistent bool, profile Profile) *baseDevice {
+	return &baseDevice{
+		name:       name,
+		capacity:   capacity,
+		persistent: persistent,
+		profile:    profile,
+		store:      newSparseStore(capacity),
+	}
+}
+
+func (d *baseDevice) Name() string         { return d.name }
+func (d *baseDevice) Capacity() units.Size { return d.capacity }
+func (d *baseDevice) Persistent() bool     { return d.persistent }
+func (d *baseDevice) Profile() Profile     { return d.profile }
+func (d *baseDevice) Stats() *Stats        { return &d.stats }
+
+func (d *baseDevice) ReadAt(p []byte, off int64) error {
+	if !d.store.check(off, len(p)) {
+		return &AddrError{Device: d.name, Off: off, Len: len(p), Cap: d.capacity}
+	}
+	d.store.readAt(p, off)
+	d.stats.Reads.Add(1)
+	d.stats.BytesRead.Add(int64(len(p)))
+	return nil
+}
+
+func (d *baseDevice) WriteAt(p []byte, off int64) error {
+	if !d.store.check(off, len(p)) {
+		return &AddrError{Device: d.name, Off: off, Len: len(p), Cap: d.capacity}
+	}
+	d.store.writeAt(p, off)
+	d.stats.Writes.Add(1)
+	d.stats.BytesWrite.Add(int64(len(p)))
+	return nil
+}
+
+func (d *baseDevice) PowerCycle() {
+	if !d.persistent {
+		d.store.clear()
+	}
+}

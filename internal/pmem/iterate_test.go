@@ -1,0 +1,94 @@
+package pmem
+
+import "testing"
+
+func TestObjectsWalk(t *testing.T) {
+	p, _ := createPool(t)
+	objs, err := p.Objects()
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("fresh pool objects = %v, %v", objs, err)
+	}
+	root, err := p.Root(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err = p.Objects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	// Ascending address order; root is flagged.
+	rootsSeen := 0
+	for i, o := range objs {
+		if i > 0 && o.OID.Off <= objs[i-1].OID.Off {
+			t.Error("objects not in address order")
+		}
+		if o.IsRoot {
+			rootsSeen++
+			if o.OID != root || o.Size != 128 {
+				t.Errorf("root info = %+v", o)
+			}
+		}
+	}
+	if rootsSeen != 1 {
+		t.Errorf("roots flagged = %d", rootsSeen)
+	}
+	// Free removes from the walk.
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	objs, err = p.Objects()
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("after free: %d objects, %v", len(objs), err)
+	}
+	total, err := p.LiveBytes()
+	if err != nil || total != 128+200 {
+		t.Errorf("LiveBytes = %d, %v; want 328", total, err)
+	}
+	_ = b
+}
+
+func TestFirstNext(t *testing.T) {
+	p, _ := createPool(t)
+	if _, ok, err := p.First(); ok || err != nil {
+		t.Error("First on empty pool")
+	}
+	a, _ := p.Alloc(64)
+	b, _ := p.Alloc(64)
+	c, _ := p.Alloc(64)
+	first, ok, err := p.First()
+	if err != nil || !ok || first.OID != a {
+		t.Fatalf("First = %+v, %v, %v", first, ok, err)
+	}
+	second, ok, err := p.Next(a)
+	if err != nil || !ok || second.OID != b {
+		t.Fatalf("Next(a) = %+v", second)
+	}
+	third, ok, err := p.Next(b)
+	if err != nil || !ok || third.OID != c {
+		t.Fatalf("Next(b) = %+v", third)
+	}
+	if _, ok, _ := p.Next(c); ok {
+		t.Error("Next past last object")
+	}
+	if _, ok, _ := p.Next(OID{PoolID: p.PoolID(), Off: 12345}); ok {
+		t.Error("Next of unknown OID")
+	}
+	// Closed pool refuses.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Objects(); err == nil {
+		t.Error("Objects on closed pool accepted")
+	}
+}

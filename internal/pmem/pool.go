@@ -1,0 +1,483 @@
+// Package pmem is the Go equivalent of PMDK's libpmemobj, the library
+// STREAM-PMem is written against (paper §3.1, Listings 1-2): pools
+// created/opened by layout name, object allocation with OIDs, direct
+// load/store access to a mapped view, explicit persist/drain ordering,
+// and undo-log transactions that guarantee "either all of the
+// modifications are successfully applied or none of them take effect"
+// (§1.4).
+//
+// Persistence model. A pool lives on a Region (a pmemfs file over a
+// device, possibly reached through the CXL protocol). Open maps the pool
+// into a volatile view — the analogue of the CPU-cache/DRAM image of a
+// DAX mapping. Stores hit the view; Persist flushes ranges to the region
+// (clwb), Drain orders them (sfence). SimulateCrash throws the view away
+// and, when the media is volatile, the region too — which is exactly the
+// difference between the paper's DRAM-emulated PMem and the
+// battery-backed CXL module.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+)
+
+// Region is the byte store a pool sits on (pmemfs.File satisfies this).
+type Region interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+	Persistent() bool
+}
+
+// Pool geometry.
+const (
+	// Magic identifies a pool ("pmemobj_create" writes PMDK's; ours).
+	Magic = "GOPMEMOBJ\x01"
+	// Version of the on-media format.
+	Version = 1
+	// headerSize reserves the first block for the pool header.
+	headerSize = 512
+	// DefaultLogSize is the undo-log region size.
+	DefaultLogSize = 256 << 10
+	// MinPoolSize is the smallest usable pool.
+	MinPoolSize = headerSize + DefaultLogSize + heapAlign + blockHeaderSize + 64
+	// MaxLayoutName bounds the layout string (PMDK: 1024; we use 64).
+	MaxLayoutName = 64
+)
+
+// header field offsets.
+const (
+	hdrMagic    = 0   // 10 bytes
+	hdrVersion  = 12  // u32
+	hdrLayout   = 16  // 64 bytes
+	hdrPoolSize = 80  // u64
+	hdrLogOff   = 88  // u64
+	hdrLogSize  = 96  // u64
+	hdrHeapOff  = 104 // u64
+	hdrRootOff  = 112 // u64
+	hdrRootSize = 120 // u64
+	hdrPoolID   = 128 // u64
+	hdrCRC      = 136 // u32 over [0, hdrCRC)
+)
+
+// OID names a persistent object: an offset inside a specific pool,
+// mirroring PMDK's PMEMoid {pool_uuid_lo, off}.
+type OID struct {
+	PoolID uint64
+	Off    uint64
+}
+
+// IsNull reports the null OID.
+func (o OID) IsNull() bool { return o.Off == 0 }
+
+func (o OID) String() string { return fmt.Sprintf("oid{%#x+%#x}", o.PoolID, o.Off) }
+
+// Stats counts persistence primitives, the analogue of counting
+// clwb/sfence instructions.
+type Stats struct {
+	Persists     atomic.Int64
+	PersistBytes atomic.Int64
+	Drains       atomic.Int64
+	TxCommits    atomic.Int64
+	TxAborts     atomic.Int64
+	Allocs       atomic.Int64
+	Frees        atomic.Int64
+}
+
+// Pool is an open persistent object pool.
+type Pool struct {
+	mu     sync.Mutex
+	region Region
+	view   []byte
+	layout string
+	poolID uint64
+	size   int64
+
+	logOff, logSize   uint64
+	heapOff           uint64
+	rootOff, rootSize uint64
+
+	heap  *heap
+	tx    *Tx // active transaction, if any
+	stats Stats
+
+	closed  bool
+	crashed bool
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PoolError is a structured pool failure.
+type PoolError struct {
+	Op     string
+	Layout string
+	Why    string
+}
+
+func (e *PoolError) Error() string {
+	return fmt.Sprintf("pmem: %s(%q): %s", e.Op, e.Layout, e.Why)
+}
+
+// Create initialises a new pool with the given layout name on region,
+// the equivalent of pmemobj_create (Listing 2 line 10).
+func Create(region Region, layout string) (*Pool, error) {
+	if region == nil {
+		return nil, &PoolError{Op: "create", Layout: layout, Why: "nil region"}
+	}
+	if len(layout) == 0 || len(layout) > MaxLayoutName {
+		return nil, &PoolError{Op: "create", Layout: layout, Why: "layout name length outside 1..64"}
+	}
+	size := region.Size()
+	if size < MinPoolSize {
+		return nil, &PoolError{Op: "create", Layout: layout, Why: fmt.Sprintf("region %d bytes below minimum %d", size, MinPoolSize)}
+	}
+	// Refuse to clobber an existing pool.
+	probe := make([]byte, len(Magic))
+	if err := region.ReadAt(probe, 0); err != nil {
+		return nil, err
+	}
+	if string(probe) == Magic {
+		return nil, &PoolError{Op: "create", Layout: layout, Why: "region already contains a pool"}
+	}
+
+	p := &Pool{
+		region:  region,
+		view:    make([]byte, size),
+		layout:  layout,
+		size:    size,
+		logOff:  headerSize,
+		logSize: DefaultLogSize,
+	}
+	p.heapOff = alignUp64(p.logOff+p.logSize, heapAlign)
+	p.poolID = poolIDFor(layout, size)
+	p.heap = newHeap(p, p.heapOff, uint64(size))
+	if err := p.heap.format(); err != nil {
+		return nil, err
+	}
+	if err := p.clearLog(); err != nil {
+		return nil, err
+	}
+	p.writeHeader()
+	if err := p.persistRaw(0, headerSize); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open maps an existing pool, validating magic, version, layout and
+// header checksum, then runs undo-log recovery — the pmemobj_open path
+// of Listing 2 line 12.
+func Open(region Region, layout string) (*Pool, error) {
+	if region == nil {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "nil region"}
+	}
+	size := region.Size()
+	if size < MinPoolSize {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "region too small"}
+	}
+	hdr := make([]byte, headerSize)
+	if err := region.ReadAt(hdr, 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[hdrMagic:hdrMagic+len(Magic)]) != Magic {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "no pool present (bad magic)"}
+	}
+	if v := binary.LittleEndian.Uint32(hdr[hdrVersion:]); v != Version {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: fmt.Sprintf("version %d unsupported", v)}
+	}
+	if got := binary.LittleEndian.Uint32(hdr[hdrCRC:]); got != crc32.Checksum(hdr[:hdrCRC], crcTable) {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "header checksum mismatch"}
+	}
+	stored := trimNul(hdr[hdrLayout : hdrLayout+MaxLayoutName])
+	if stored != layout {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: fmt.Sprintf("layout mismatch: pool has %q", stored)}
+	}
+	if ps := binary.LittleEndian.Uint64(hdr[hdrPoolSize:]); ps != uint64(size) {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "pool size mismatch"}
+	}
+
+	p := &Pool{
+		region:   region,
+		layout:   layout,
+		size:     size,
+		logOff:   binary.LittleEndian.Uint64(hdr[hdrLogOff:]),
+		logSize:  binary.LittleEndian.Uint64(hdr[hdrLogSize:]),
+		heapOff:  binary.LittleEndian.Uint64(hdr[hdrHeapOff:]),
+		rootOff:  binary.LittleEndian.Uint64(hdr[hdrRootOff:]),
+		rootSize: binary.LittleEndian.Uint64(hdr[hdrRootSize:]),
+		poolID:   binary.LittleEndian.Uint64(hdr[hdrPoolID:]),
+	}
+	// Undo-log recovery happens against the region, before the view
+	// is mapped, so a torn transaction is rolled back on media.
+	if err := p.recoverLog(); err != nil {
+		return nil, err
+	}
+	p.view = make([]byte, size)
+	if err := region.ReadAt(p.view, 0); err != nil {
+		return nil, err
+	}
+	p.heap = newHeap(p, p.heapOff, uint64(size))
+	if err := p.heap.rebuild(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CreateOrOpen opens an existing pool or creates a fresh one — the
+// idiom of Listing 2 lines 10-12.
+func CreateOrOpen(region Region, layout string) (*Pool, error) {
+	p, err := Create(region, layout)
+	if err == nil {
+		return p, nil
+	}
+	if pe, ok := err.(*PoolError); ok && pe.Why == "region already contains a pool" {
+		return Open(region, layout)
+	}
+	return nil, err
+}
+
+func (p *Pool) writeHeader() {
+	hdr := p.view[:headerSize]
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	copy(hdr[hdrMagic:], Magic)
+	binary.LittleEndian.PutUint32(hdr[hdrVersion:], Version)
+	copy(hdr[hdrLayout:hdrLayout+MaxLayoutName], p.layout)
+	binary.LittleEndian.PutUint64(hdr[hdrPoolSize:], uint64(p.size))
+	binary.LittleEndian.PutUint64(hdr[hdrLogOff:], p.logOff)
+	binary.LittleEndian.PutUint64(hdr[hdrLogSize:], p.logSize)
+	binary.LittleEndian.PutUint64(hdr[hdrHeapOff:], p.heapOff)
+	binary.LittleEndian.PutUint64(hdr[hdrRootOff:], p.rootOff)
+	binary.LittleEndian.PutUint64(hdr[hdrRootSize:], p.rootSize)
+	binary.LittleEndian.PutUint64(hdr[hdrPoolID:], p.poolID)
+	binary.LittleEndian.PutUint32(hdr[hdrCRC:], crc32.Checksum(hdr[:hdrCRC], crcTable))
+}
+
+// Layout returns the pool's layout name.
+func (p *Pool) Layout() string { return p.layout }
+
+// PoolID returns the pool identity used in OIDs.
+func (p *Pool) PoolID() uint64 { return p.poolID }
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() int64 { return p.size }
+
+// Persistent reports whether the backing media is durable.
+func (p *Pool) Persistent() bool { return p.region.Persistent() }
+
+// Stats exposes persistence counters.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+func (p *Pool) checkLive(op string) error {
+	if p.closed {
+		return &PoolError{Op: op, Layout: p.layout, Why: "pool closed"}
+	}
+	if p.crashed {
+		return &PoolError{Op: op, Layout: p.layout, Why: "pool crashed; reopen to recover"}
+	}
+	return nil
+}
+
+func (p *Pool) checkOID(op string, oid OID, n uint64) error {
+	if oid.PoolID != p.poolID {
+		return &PoolError{Op: op, Layout: p.layout, Why: fmt.Sprintf("%v belongs to another pool", oid)}
+	}
+	if oid.Off < p.heapOff+blockHeaderSize || oid.Off+n > uint64(p.size) {
+		return &PoolError{Op: op, Layout: p.layout, Why: fmt.Sprintf("%v+%d outside heap", oid, n)}
+	}
+	return nil
+}
+
+// View returns the mapped bytes of an object: direct load/store access,
+// the pmemobj_direct analogue. The slice aliases pool memory; writes to
+// it are volatile until persisted.
+func (p *Pool) View(oid OID, n uint64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("view"); err != nil {
+		return nil, err
+	}
+	if err := p.checkOID("view", oid, n); err != nil {
+		return nil, err
+	}
+	return p.view[oid.Off : oid.Off+n : oid.Off+n], nil
+}
+
+// Persist flushes [oid, oid+n) from the view to the media — clwb over
+// the range. It does not imply ordering; call Drain for the fence.
+func (p *Pool) Persist(oid OID, n uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("persist"); err != nil {
+		return err
+	}
+	if err := p.checkOID("persist", oid, n); err != nil {
+		return err
+	}
+	return p.persistRaw(int64(oid.Off), int64(n))
+}
+
+// persistRaw flushes a raw pool range; caller holds the lock or is in
+// single-threaded setup.
+func (p *Pool) persistRaw(off, n int64) error {
+	if err := p.region.WriteAt(p.view[off:off+n], off); err != nil {
+		return err
+	}
+	p.stats.Persists.Add(1)
+	p.stats.PersistBytes.Add(n)
+	return nil
+}
+
+// Drain is the store fence pairing with Persist. The simulated media
+// completes writes synchronously, so Drain only counts — but callers
+// must still place it correctly: the crash tests validate persist
+// ordering through the log protocol, as on real hardware.
+func (p *Pool) Drain() {
+	p.stats.Drains.Add(1)
+}
+
+// Root returns the root object, allocating it with the given size on
+// first use (pmemobj_root). The size must match on subsequent calls.
+func (p *Pool) Root(size uint64) (OID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("root"); err != nil {
+		return OID{}, err
+	}
+	if size == 0 {
+		return OID{}, &PoolError{Op: "root", Layout: p.layout, Why: "zero size"}
+	}
+	if p.rootOff != 0 {
+		if size != p.rootSize {
+			return OID{}, &PoolError{Op: "root", Layout: p.layout, Why: fmt.Sprintf("root exists with size %d, requested %d", p.rootSize, size)}
+		}
+		return OID{PoolID: p.poolID, Off: p.rootOff}, nil
+	}
+	off, err := p.heap.alloc(size)
+	if err != nil {
+		return OID{}, err
+	}
+	p.rootOff, p.rootSize = off, size
+	p.writeHeader()
+	if err := p.persistRaw(0, headerSize); err != nil {
+		return OID{}, err
+	}
+	p.stats.Allocs.Add(1)
+	return OID{PoolID: p.poolID, Off: off}, nil
+}
+
+// Alloc allocates a zeroed object of n bytes (POBJ_ALLOC, Listing 2
+// line 7). The data offset is 64-byte aligned, so Float64s views are
+// always correctly aligned.
+func (p *Pool) Alloc(n uint64) (OID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("alloc"); err != nil {
+		return OID{}, err
+	}
+	if n == 0 {
+		return OID{}, &PoolError{Op: "alloc", Layout: p.layout, Why: "zero size"}
+	}
+	off, err := p.heap.alloc(n)
+	if err != nil {
+		return OID{}, err
+	}
+	p.stats.Allocs.Add(1)
+	return OID{PoolID: p.poolID, Off: off}, nil
+}
+
+// Free releases an object.
+func (p *Pool) Free(oid OID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("free"); err != nil {
+		return err
+	}
+	if err := p.checkOID("free", oid, 0); err != nil {
+		return err
+	}
+	if oid.Off == p.rootOff {
+		return &PoolError{Op: "free", Layout: p.layout, Why: "cannot free the root object"}
+	}
+	if err := p.heap.free(oid.Off); err != nil {
+		return err
+	}
+	p.stats.Frees.Add(1)
+	return nil
+}
+
+// AllocSize returns the usable size of an allocated object.
+func (p *Pool) AllocSize(oid OID) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("allocsize"); err != nil {
+		return 0, err
+	}
+	if err := p.checkOID("allocsize", oid, 0); err != nil {
+		return 0, err
+	}
+	return p.heap.userSize(oid.Off)
+}
+
+// Close flushes the header and detaches the view. Objects not persisted
+// are lost, as with a real mapping.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return &PoolError{Op: "close", Layout: p.layout, Why: "already closed"}
+	}
+	if p.tx != nil {
+		return &PoolError{Op: "close", Layout: p.layout, Why: "transaction in flight"}
+	}
+	p.closed = true
+	p.view = nil
+	return nil
+}
+
+// SimulateCrash models a power failure: the view (CPU caches + DRAM
+// image) vanishes, and volatile media loses the region too. The pool
+// becomes unusable; Open the region again to run recovery. The
+// PowerCycler interface lets device-backed regions participate.
+func (p *Pool) SimulateCrash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashed = true
+	p.view = nil
+	p.tx = nil
+	if pc, ok := p.region.(PowerCycler); ok {
+		pc.PowerCycle()
+	}
+}
+
+// PowerCycler is implemented by regions whose media can lose power
+// (pmemfs files over memdev devices forward to Device.PowerCycle).
+type PowerCycler interface {
+	PowerCycle()
+}
+
+func alignUp64(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+func trimNul(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// poolIDFor derives a stable pool identity.
+func poolIDFor(layout string, size int64) uint64 {
+	h := crc32.Checksum([]byte(layout), crcTable)
+	h2 := crc32.Checksum([]byte(fmt.Sprint(size)), crcTable)
+	id := uint64(h)<<32 | uint64(h2)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

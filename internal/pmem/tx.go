@@ -1,0 +1,302 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Undo-log transactions, the pmemobj_tx machinery STREAM-PMem relies on
+// for transactional integrity (§1.4: the transaction "ensures that
+// either all of the modifications are successfully applied or none of
+// them take effect").
+//
+// Protocol (all log writes go straight to the media, never only to the
+// view, so the log itself is crash-safe):
+//
+//  1. AddRange snapshots the current media content of a range into the
+//     log and persists the entry before the caller mutates the view.
+//  2. The caller mutates the mapped view freely.
+//  3. Commit persists every added range view→media, then — and only
+//     then — invalidates the log in a single atomic-width write.
+//  4. Recovery (pool Open) finds a valid, non-empty log and applies the
+//     snapshots back onto the media: the transaction never happened.
+//
+// Log layout inside [logOff, logOff+logSize):
+//
+//	0:4   state: 0 = idle, 1 = active
+//	4:8   entry count (u32)
+//	8:    entries
+//
+// entry: [off u64][len u64][crc u32][pad u32][data ...] padded to 8.
+const (
+	logState   = 0
+	logCount   = 4
+	logEntries = 8
+
+	logIdle   uint32 = 0
+	logActive uint32 = 1
+
+	entryHeaderSize = 24
+)
+
+// TxError is a transaction failure.
+type TxError struct {
+	Op  string
+	Why string
+}
+
+func (e *TxError) Error() string { return fmt.Sprintf("pmem: tx %s: %s", e.Op, e.Why) }
+
+// Tx is an open transaction. A pool admits one transaction at a time
+// (PMDK scopes them per-thread; the paper's workloads are one tx at a
+// time per pool).
+type Tx struct {
+	p      *Pool
+	cursor uint64 // next free byte in the log, relative to logOff
+	count  uint32 // entries written
+	ranges []txRange
+	done   bool
+}
+
+type txRange struct {
+	off uint64
+	n   uint64
+}
+
+// Begin opens a transaction (TX_BEGIN).
+func (p *Pool) Begin() (*Tx, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkLive("tx-begin"); err != nil {
+		return nil, err
+	}
+	if p.tx != nil {
+		return nil, &TxError{Op: "begin", Why: "transaction already in flight"}
+	}
+	tx := &Tx{p: p, cursor: logEntries}
+	// Mark the log active on media before any entry lands.
+	if err := p.logWrite32(logState, logActive); err != nil {
+		return nil, err
+	}
+	if err := p.logWrite32(logCount, 0); err != nil {
+		return nil, err
+	}
+	p.tx = tx
+	return tx, nil
+}
+
+// AddRange snapshots [oid.Off+off, +n) so it can be rolled back
+// (pmemobj_tx_add_range). Must be called before mutating the range.
+func (tx *Tx) AddRange(oid OID, off, n uint64) error {
+	p := tx.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tx.done {
+		return &TxError{Op: "add-range", Why: "transaction finished"}
+	}
+	if err := p.checkLive("tx-add"); err != nil {
+		return err
+	}
+	if n == 0 {
+		return &TxError{Op: "add-range", Why: "zero length"}
+	}
+	if err := p.checkOID("tx-add", oid, off+n); err != nil {
+		return err
+	}
+	start := oid.Off + off
+	padded := alignUp64(n, 8)
+	need := entryHeaderSize + padded
+	if tx.cursor+need > p.logSize {
+		return &TxError{Op: "add-range", Why: "undo log full"}
+	}
+	// Snapshot MEDIA content (the pre-transaction persistent state),
+	// not the view: rollback must restore what recovery would see.
+	snap := make([]byte, padded)
+	if err := p.region.ReadAt(snap[:n], int64(start)); err != nil {
+		return err
+	}
+	entry := make([]byte, entryHeaderSize+len(snap))
+	binary.LittleEndian.PutUint64(entry[0:], start)
+	binary.LittleEndian.PutUint64(entry[8:], n)
+	binary.LittleEndian.PutUint32(entry[16:], crc32.Checksum(snap[:n], crcTable))
+	copy(entry[entryHeaderSize:], snap)
+	if err := p.region.WriteAt(entry, int64(p.logOff+tx.cursor)); err != nil {
+		return err
+	}
+	// Entry persisted; only then bump the count (the recovery fence).
+	tx.cursor += need
+	tx.count++
+	if err := p.logWrite32(logCount, tx.count); err != nil {
+		return err
+	}
+	tx.ranges = append(tx.ranges, txRange{off: start, n: n})
+	p.stats.Persists.Add(1)
+	p.stats.PersistBytes.Add(int64(len(entry)))
+	return nil
+}
+
+// Commit persists every added range and retires the log (TX_COMMIT).
+func (tx *Tx) Commit() error {
+	p := tx.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tx.done {
+		return &TxError{Op: "commit", Why: "transaction finished"}
+	}
+	if err := p.checkLive("tx-commit"); err != nil {
+		return err
+	}
+	for _, r := range tx.ranges {
+		if err := p.persistRaw(int64(r.off), int64(r.n)); err != nil {
+			return err
+		}
+	}
+	p.Drain()
+	// The commit point: a single 4-byte state write. Before it,
+	// recovery rolls back; after it, the new data is the truth.
+	if err := p.logWrite32(logState, logIdle); err != nil {
+		return err
+	}
+	if err := p.logWrite32(logCount, 0); err != nil {
+		return err
+	}
+	tx.done = true
+	p.tx = nil
+	p.stats.TxCommits.Add(1)
+	return nil
+}
+
+// Abort rolls the added ranges back on media and in the view
+// (TX_ABORT).
+func (tx *Tx) Abort() error {
+	p := tx.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tx.done {
+		return &TxError{Op: "abort", Why: "transaction finished"}
+	}
+	if err := p.checkLive("tx-abort"); err != nil {
+		return err
+	}
+	if err := p.applyLog(); err != nil {
+		return err
+	}
+	// Refresh the view from the restored media.
+	for _, r := range tx.ranges {
+		if err := p.region.ReadAt(p.view[r.off:r.off+r.n], int64(r.off)); err != nil {
+			return err
+		}
+	}
+	if err := p.clearLog(); err != nil {
+		return err
+	}
+	tx.done = true
+	p.tx = nil
+	p.stats.TxAborts.Add(1)
+	return nil
+}
+
+// logWrite32 writes one log control word straight to media.
+func (p *Pool) logWrite32(off uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return p.region.WriteAt(b[:], int64(p.logOff+off))
+}
+
+func (p *Pool) logRead32(off uint64) (uint32, error) {
+	var b [4]byte
+	if err := p.region.ReadAt(b[:], int64(p.logOff+off)); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// clearLog marks the log idle on media.
+func (p *Pool) clearLog() error {
+	if err := p.logWrite32(logState, logIdle); err != nil {
+		return err
+	}
+	return p.logWrite32(logCount, 0)
+}
+
+// applyLog replays undo entries onto the media (rollback).
+func (p *Pool) applyLog() error {
+	count, err := p.logRead32(logCount)
+	if err != nil {
+		return err
+	}
+	cursor := uint64(logEntries)
+	for i := uint32(0); i < count; i++ {
+		hdr := make([]byte, entryHeaderSize)
+		if err := p.region.ReadAt(hdr, int64(p.logOff+cursor)); err != nil {
+			return err
+		}
+		off := binary.LittleEndian.Uint64(hdr[0:])
+		n := binary.LittleEndian.Uint64(hdr[8:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[16:])
+		padded := alignUp64(n, 8)
+		if off+n > uint64(p.size) || p.logOff+cursor+entryHeaderSize+padded > p.logOff+p.logSize {
+			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d malformed", i)}
+		}
+		data := make([]byte, padded)
+		if err := p.region.ReadAt(data, int64(p.logOff+cursor+entryHeaderSize)); err != nil {
+			return err
+		}
+		if crc32.Checksum(data[:n], crcTable) != wantCRC {
+			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d checksum mismatch", i)}
+		}
+		if err := p.region.WriteAt(data[:n], int64(off)); err != nil {
+			return err
+		}
+		cursor += entryHeaderSize + padded
+	}
+	return nil
+}
+
+// recoverLog runs at Open: a log left active by a crash is rolled back.
+func (p *Pool) recoverLog() error {
+	state, err := p.logRead32(logState)
+	if err != nil {
+		return err
+	}
+	if state != logActive {
+		return nil
+	}
+	if err := p.applyLog(); err != nil {
+		return err
+	}
+	return p.clearLog()
+}
+
+// Update runs fn inside a transaction over the given range: the range
+// is snapshotted, fn mutates the returned view slice, and the change
+// commits atomically. Any error aborts. This is the TX_BEGIN/TX_ADD/
+// TX_END convenience macro.
+func (p *Pool) Update(oid OID, off, n uint64, fn func(view []byte) error) error {
+	tx, err := p.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.AddRange(oid, off, n); err != nil {
+		abortErr := tx.Abort()
+		if abortErr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+		}
+		return err
+	}
+	view, err := p.View(oid, off+n)
+	if err != nil {
+		if abortErr := tx.Abort(); abortErr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+		}
+		return err
+	}
+	if err := fn(view[off : off+n]); err != nil {
+		if abortErr := tx.Abort(); abortErr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+		}
+		return err
+	}
+	return tx.Commit()
+}

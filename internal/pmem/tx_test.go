@@ -1,0 +1,435 @@
+package pmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxCommitDurable(t *testing.T) {
+	p, r := createPool(t)
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p.View(oid, 64)
+	copy(v, "old-value")
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "new-value")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SimulateCrash()
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p2.View(oid, 64)
+	if string(got[:9]) != "new-value" {
+		t.Errorf("after commit+crash = %q, want new-value", got[:9])
+	}
+}
+
+func TestTxCrashBeforeCommitRollsBack(t *testing.T) {
+	p, r := createPool(t)
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p.View(oid, 64)
+	copy(v, "old-value")
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "torn-write")
+	// Even persist the torn data — recovery must still undo it.
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+	p.SimulateCrash() // no commit
+
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p2.View(oid, 64)
+	if string(got[:9]) != "old-value" {
+		t.Errorf("after crash without commit = %q, want old-value (rollback)", got[:9])
+	}
+}
+
+func TestTxAbortRestoresViewAndMedia(t *testing.T) {
+	p, _ := createPool(t)
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p.View(oid, 64)
+	copy(v, "original")
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "mutated!")
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The view itself is restored, not only the media.
+	if string(v[:8]) != "original" {
+		t.Errorf("view after abort = %q", v[:8])
+	}
+	if p.Stats().TxAborts.Load() != 1 {
+		t.Error("abort not counted")
+	}
+}
+
+func TestTxSingleFlight(t *testing.T) {
+	p, _ := createPool(t)
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Begin(); err == nil {
+		t.Error("second concurrent transaction accepted")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Finished transactions reject further use.
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	if err := tx.Abort(); err == nil {
+		t.Error("abort after commit accepted")
+	}
+	oid, _ := p.Alloc(8)
+	if err := tx.AddRange(oid, 0, 8); err == nil {
+		t.Error("AddRange after commit accepted")
+	}
+	// A new transaction can start now.
+	tx2, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxAddRangeValidation(t *testing.T) {
+	p, _ := createPool(t)
+	oid, _ := p.Alloc(64)
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 0); err == nil {
+		t.Error("zero-length range accepted")
+	}
+	if err := tx.AddRange(OID{PoolID: 42, Off: oid.Off}, 0, 8); err == nil {
+		t.Error("foreign OID accepted")
+	}
+	if err := tx.AddRange(oid, 0, uint64(testPoolSize)); err == nil {
+		t.Error("out-of-heap range accepted")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxLogFull(t *testing.T) {
+	p, _ := createPool(t)
+	oid, err := p.Alloc(DefaultLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One giant range exceeding the log must be rejected cleanly.
+	if err := tx.AddRange(oid, 0, DefaultLogSize); err == nil {
+		t.Error("log overflow accepted")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseWithOpenTxRejected(t *testing.T) {
+	p, _ := createPool(t)
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err == nil {
+		t.Error("close with open transaction accepted")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateHelper(t *testing.T) {
+	p, r := createPool(t)
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(oid, 8, 8, func(b []byte) error {
+		binary.LittleEndian.PutUint64(b, 0xFEEDFACE)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.SimulateCrash()
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.GetUint64(oid, 8)
+	if err != nil || got != 0xFEEDFACE {
+		t.Errorf("after Update+crash = %#x, %v", got, err)
+	}
+	// fn error aborts cleanly and leaves the pool usable.
+	sentinel := &TxError{Op: "user", Why: "boom"}
+	if err := p2.Update(oid, 8, 8, func(b []byte) error { return sentinel }); err != sentinel {
+		t.Errorf("Update error = %v, want sentinel", err)
+	}
+	if got, _ := p2.GetUint64(oid, 8); got != 0xFEEDFACE {
+		t.Error("aborted Update changed data")
+	}
+	if _, err := p2.Begin(); err != nil {
+		t.Errorf("pool unusable after aborted Update: %v", err)
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	p, r := createPool(t)
+	oid, fs, err := p.AllocFloat64s(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 100 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	for i := range fs {
+		fs[i] = float64(i) * 1.5
+	}
+	if err := p.PersistFloat64s(oid, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	p.SimulateCrash()
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := p2.Float64s(oid, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fs2 {
+		if v != float64(i)*1.5 {
+			t.Fatalf("fs[%d] = %v, want %v", i, v, float64(i)*1.5)
+		}
+	}
+	// Validation.
+	if _, err := p2.Float64s(oid, 0); err == nil {
+		t.Error("zero-length Float64s accepted")
+	}
+	if _, _, err := p2.AllocFloat64s(-1); err == nil {
+		t.Error("negative AllocFloat64s accepted")
+	}
+	if err := p2.PersistFloat64s(oid, 10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := p2.PersistFloat64s(oid, 5, 5); err != nil {
+		t.Error("empty range should be a no-op")
+	}
+	// Scalar helpers.
+	if err := p2.SetFloat64(oid, 0, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.GetFloat64(oid, 0)
+	if err != nil || got != 3.25 {
+		t.Errorf("GetFloat64 = %v, %v", got, err)
+	}
+}
+
+// Property: whatever write count the power fails at, reopening the pool
+// shows either the complete old value or the complete new value of a
+// transactionally updated range — never a mixture. This sweeps the
+// crash point across every media write the protocol performs.
+func TestTxAtomicityAcrossAllCrashPoints(t *testing.T) {
+	old := bytes.Repeat([]byte{0xAA}, 64)
+	new_ := bytes.Repeat([]byte{0x55}, 64)
+
+	// First, count the total writes of a full run.
+	total := func() int {
+		r := newMemRegion(testPoolSize, true)
+		p, err := Create(r, "atomic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid, err := p.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := p.View(oid, 64)
+		copy(v, old)
+		if err := p.Persist(oid, 64); err != nil {
+			t.Fatal(err)
+		}
+		start := r.writes
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.AddRange(oid, 0, 64); err != nil {
+			t.Fatal(err)
+		}
+		copy(v, new_)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return r.writes - start
+	}()
+	if total < 4 {
+		t.Fatalf("transaction performed only %d writes; protocol too thin to test", total)
+	}
+
+	for cut := 0; cut <= total; cut++ {
+		r := newMemRegion(testPoolSize, true)
+		p, err := Create(r, "atomic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid, err := p.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := p.View(oid, 64)
+		copy(v, old)
+		if err := p.Persist(oid, 64); err != nil {
+			t.Fatal(err)
+		}
+		r.cutoff = r.writes + cut // power fails after `cut` more writes
+		tx, err := p.Begin()
+		if err == nil {
+			if err := tx.AddRange(oid, 0, 64); err == nil {
+				copy(v, new_)
+				_ = tx.Commit() // may "succeed" while writes are dropped
+			}
+		}
+		// Power is restored: lift the cutoff and recover.
+		r.cutoff = -1
+		p.SimulateCrash()
+		p2, err := Open(r, "atomic")
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		got, err := p2.View(oid, 64)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if !bytes.Equal(got, old) && !bytes.Equal(got, new_) {
+			t.Fatalf("cut=%d: torn state %x", cut, got[:8])
+		}
+	}
+}
+
+// Property: random transactional updates on random offsets maintain
+// atomicity under immediate-crash recovery.
+func TestTxAtomicityProperty(t *testing.T) {
+	f := func(seedByte uint8, commit bool) bool {
+		r := newMemRegion(1<<20, true)
+		p, err := Create(r, "prop")
+		if err != nil {
+			return false
+		}
+		oid, err := p.Alloc(4096)
+		if err != nil {
+			return false
+		}
+		v, _ := p.View(oid, 4096)
+		for i := range v {
+			v[i] = seedByte
+		}
+		if err := p.Persist(oid, 4096); err != nil {
+			return false
+		}
+		tx, err := p.Begin()
+		if err != nil {
+			return false
+		}
+		off := uint64(seedByte) * 7 % 3000
+		if err := tx.AddRange(oid, off, 512); err != nil {
+			return false
+		}
+		for i := off; i < off+512; i++ {
+			v[i] = ^seedByte
+		}
+		if commit {
+			if err := tx.Commit(); err != nil {
+				return false
+			}
+		}
+		p.SimulateCrash()
+		p2, err := Open(r, "prop")
+		if err != nil {
+			return false
+		}
+		got, err := p2.View(oid, 4096)
+		if err != nil {
+			return false
+		}
+		want := seedByte
+		if commit {
+			want = ^seedByte
+		}
+		for i := off; i < off+512; i++ {
+			if got[i] != want {
+				return false
+			}
+		}
+		// Bytes outside the range are untouched.
+		for i := uint64(0); i < off; i++ {
+			if got[i] != seedByte {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+package solver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cxlpmem/internal/pmem"
+)
+
+// Conjugate-gradient solver with NVM-ESR-style exact state
+// reconstruction: the complete Krylov state (x, r, p, rsold and the
+// iteration counter) is persisted transactionally every K iterations,
+// so recovery resumes the iteration stream exactly — no recomputation
+// from x alone, no convergence perturbation.
+
+// CG solves A·x = b for a symmetric positive-definite matrix given as a
+// dense row-major slice.
+type CG struct {
+	N     int
+	A     []float64 // N×N, row-major
+	B     []float64 // rhs
+	X     []float64 // current iterate
+	R     []float64 // residual
+	P     []float64 // search direction
+	RSold float64
+	Iter  int
+}
+
+// NewCG initialises the solver with x0 = 0.
+func NewCG(a, b []float64) (*CG, error) {
+	n := len(b)
+	if n == 0 || len(a) != n*n {
+		return nil, fmt.Errorf("solver: cg dimensions mismatch: |A|=%d |b|=%d", len(a), len(b))
+	}
+	c := &CG{
+		N: n, A: a, B: b,
+		X: make([]float64, n),
+		R: make([]float64, n),
+		P: make([]float64, n),
+	}
+	copy(c.R, b) // r = b - A·0
+	copy(c.P, c.R)
+	c.RSold = dot(c.R, c.R)
+	return c, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// matvec computes y = A·p.
+func (c *CG) matvec(p, y []float64) {
+	for i := 0; i < c.N; i++ {
+		var s float64
+		row := c.A[i*c.N : (i+1)*c.N]
+		for j, v := range row {
+			s += v * p[j]
+		}
+		y[i] = s
+	}
+}
+
+// Step performs one CG iteration; it returns the residual norm. Once
+// the residual reaches exactly zero the iteration is a stable no-op
+// (the Krylov space is exhausted; continuing would divide 0/0).
+func (c *CG) Step() float64 {
+	if c.RSold == 0 {
+		c.Iter++
+		return 0
+	}
+	ap := make([]float64, c.N)
+	c.matvec(c.P, ap)
+	pap := dot(c.P, ap)
+	if pap == 0 {
+		c.Iter++
+		return math.Sqrt(c.RSold)
+	}
+	alpha := c.RSold / pap
+	for i := range c.X {
+		c.X[i] += alpha * c.P[i]
+		c.R[i] -= alpha * ap[i]
+	}
+	rsnew := dot(c.R, c.R)
+	beta := rsnew / c.RSold
+	for i := range c.P {
+		c.P[i] = c.R[i] + beta*c.P[i]
+	}
+	c.RSold = rsnew
+	c.Iter++
+	return math.Sqrt(rsnew)
+}
+
+// Solve iterates until the residual drops below tol or maxIter.
+func (c *CG) Solve(tol float64, maxIter int) (int, float64) {
+	res := math.Sqrt(c.RSold)
+	for c.Iter < maxIter && res > tol {
+		res = c.Step()
+	}
+	return c.Iter, res
+}
+
+// Persistent CG state layout inside one pool object:
+//
+//	0:8    n
+//	8:16   iter
+//	16:24  rsold (float bits)
+//	24:    x[n], r[n], p[n] (float bits each)
+func cgStateSize(n int) uint64 { return uint64(24 + 3*8*n) }
+
+// ESRState is a handle to the persisted Krylov state.
+type ESRState struct {
+	pool *pmem.Pool
+	oid  pmem.OID
+	n    int
+}
+
+// NewESRState allocates the persistent state object for an n-vector
+// problem (the pool's root records nothing; callers keep the OID via
+// the pool root or a checkpoint directory — here the object OID is
+// stored in the pool root for simplicity).
+func NewESRState(pool *pmem.Pool, n int) (*ESRState, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("solver: esr state for n=%d", n)
+	}
+	root, err := pool.Root(16)
+	if err != nil {
+		return nil, err
+	}
+	oid, err := pool.Alloc(cgStateSize(n))
+	if err != nil {
+		return nil, err
+	}
+	// Publish {n, oid} in the root transactionally.
+	err = pool.Update(root, 0, 16, func(b []byte) error {
+		binary.LittleEndian.PutUint64(b[0:], uint64(n))
+		binary.LittleEndian.PutUint64(b[8:], oid.Off)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ESRState{pool: pool, oid: oid, n: n}, nil
+}
+
+// OpenESRState reattaches to a previously created state object.
+func OpenESRState(pool *pmem.Pool) (*ESRState, error) {
+	root, err := pool.Root(16)
+	if err != nil {
+		return nil, err
+	}
+	n, err := pool.GetUint64(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	off, err := pool.GetUint64(root, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || off == 0 {
+		return nil, fmt.Errorf("solver: pool holds no ESR state")
+	}
+	return &ESRState{pool: pool, oid: pmem.OID{PoolID: pool.PoolID(), Off: off}, n: int(n)}, nil
+}
+
+// Save persists the solver's complete Krylov state transactionally.
+func (s *ESRState) Save(c *CG) error {
+	if c.N != s.n {
+		return fmt.Errorf("solver: state sized for n=%d, solver has n=%d", s.n, c.N)
+	}
+	return s.pool.Update(s.oid, 0, cgStateSize(s.n), func(b []byte) error {
+		binary.LittleEndian.PutUint64(b[0:], uint64(c.N))
+		binary.LittleEndian.PutUint64(b[8:], uint64(c.Iter))
+		binary.LittleEndian.PutUint64(b[16:], math.Float64bits(c.RSold))
+		putVec := func(off int, v []float64) {
+			for i, x := range v {
+				binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(x))
+			}
+		}
+		putVec(24, c.X)
+		putVec(24+8*s.n, c.R)
+		putVec(24+16*s.n, c.P)
+		return nil
+	})
+}
+
+// Restore rebuilds a CG solver from the persisted state; A and b are
+// re-supplied by the application (NVM-ESR persists only the dynamic
+// state — the operator is reconstructible).
+func (s *ESRState) Restore(a, b []float64) (*CG, error) {
+	buf, err := s.pool.View(s.oid, cgStateSize(s.n))
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint64(buf[0:]))
+	if n != s.n || len(b) != n || len(a) != n*n {
+		return nil, fmt.Errorf("solver: restore dimensions mismatch")
+	}
+	c := &CG{
+		N: n, A: a, B: b,
+		X: make([]float64, n),
+		R: make([]float64, n),
+		P: make([]float64, n),
+	}
+	c.Iter = int(binary.LittleEndian.Uint64(buf[8:]))
+	c.RSold = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:]))
+	getVec := func(off int, v []float64) {
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8*i:]))
+		}
+	}
+	getVec(24, c.X)
+	getVec(24+8*n, c.R)
+	getVec(24+16*n, c.P)
+	return c, nil
+}
+
+// LaplacianSystem builds the SPD tridiagonal system of a 1-D Poisson
+// problem, a standard CG test operator.
+func LaplacianSystem(n int) (a, b []float64) {
+	a = make([]float64, n*n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 2
+		if i > 0 {
+			a[i*n+i-1] = -1
+		}
+		if i < n-1 {
+			a[i*n+i+1] = -1
+		}
+		b[i] = 1
+	}
+	return a, b
+}

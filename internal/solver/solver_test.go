@@ -1,0 +1,262 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"cxlpmem/internal/checkpoint"
+	"cxlpmem/internal/pmem"
+)
+
+type memRegion struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (r *memRegion) ReadAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("out of range")
+	}
+	copy(p, r.data[off:])
+	return nil
+}
+
+func (r *memRegion) WriteAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("out of range")
+	}
+	copy(r.data[off:], p)
+	return nil
+}
+
+func (r *memRegion) Size() int64      { return int64(len(r.data)) }
+func (r *memRegion) Persistent() bool { return true }
+
+func newPool(t *testing.T, layout string) (*pmem.Pool, *memRegion) {
+	t.Helper()
+	r := &memRegion{data: make([]byte, 16<<20)}
+	p, err := pmem.Create(r, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestJacobiConverges(t *testing.T) {
+	j, err := NewJacobi(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res float64
+	for i := 0; i < 500; i++ {
+		res = j.Step()
+	}
+	if res > 1e-3 {
+		t.Errorf("residual after 500 iters = %g, want < 1e-3", res)
+	}
+	// Interior temperatures are between the boundary values.
+	mid := j.Grid[16*32+16]
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("mid temperature = %g", mid)
+	}
+	if _, err := NewJacobi(2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestJacobiCrashRecoveryBitExact(t *testing.T) {
+	// Reference: uninterrupted 100 iterations.
+	ref, err := NewJacobi(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ref.Step()
+	}
+
+	// Crashing run: checkpoint every 20, crash at 60, recover, finish.
+	pool, region := newPool(t, checkpoint.Layout)
+	m, err := checkpoint.New(pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJacobi(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := j.RunWithCheckpoints(m, 60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 60 {
+		t.Fatalf("last checkpoint = %d, want 60", last)
+	}
+	pool.SimulateCrash()
+
+	pool2, err := pmem.Open(region, checkpoint.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := checkpoint.Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, id, err := RestoreLatestJacobi(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 60 || j2.Iter != 60 {
+		t.Fatalf("restored iter = %d (snapshot %d), want 60", j2.Iter, id)
+	}
+	for j2.Iter < 100 {
+		j2.Step()
+	}
+	for i := range ref.Grid {
+		if j2.Grid[i] != ref.Grid[i] {
+			t.Fatalf("bit-exactness violated at cell %d: %g vs %g", i, j2.Grid[i], ref.Grid[i])
+		}
+	}
+}
+
+func TestJacobiSnapshotValidation(t *testing.T) {
+	pool, _ := newPool(t, checkpoint.Layout)
+	m, err := checkpoint.New(pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := NewJacobi(8)
+	if _, err := j.RunWithCheckpoints(m, 10, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := RestoreJacobi(m, 99); err == nil {
+		t.Error("missing snapshot restored")
+	}
+	// Corrupt-length snapshot rejected.
+	if err := m.Save(50, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreJacobi(m, 50); err == nil {
+		t.Error("malformed snapshot decoded")
+	}
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	a, b := LaplacianSystem(64)
+	c, err := NewCG(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, res := c.Solve(1e-10, 500)
+	if res > 1e-10 {
+		t.Fatalf("CG did not converge: res %g after %d iters", res, iters)
+	}
+	// Verify A·x ≈ b.
+	y := make([]float64, 64)
+	c.matvec(c.X, y)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-8 {
+			t.Fatalf("residual check failed at %d: %g", i, y[i]-b[i])
+		}
+	}
+	if _, err := NewCG([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestCGESRExactRecovery(t *testing.T) {
+	const n = 48
+	a, b := LaplacianSystem(n)
+
+	// Reference: 30 uninterrupted iterations.
+	ref, err := NewCG(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		ref.Step()
+	}
+
+	// Crashing run: persist the full Krylov state at iteration 18.
+	pool, region := newPool(t, "nvm-esr")
+	st, err := NewESRState(pool, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCG(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 18; i++ {
+		c.Step()
+	}
+	if err := st.Save(c); err != nil {
+		t.Fatal(err)
+	}
+	pool.SimulateCrash()
+
+	pool2, err := pmem.Open(region, "nvm-esr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenESRState(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := st2.Restore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Iter != 18 {
+		t.Fatalf("restored iter = %d", c2.Iter)
+	}
+	for c2.Iter < 30 {
+		c2.Step()
+	}
+	// Exact state reconstruction: identical iterates, not merely close.
+	for i := range ref.X {
+		if c2.X[i] != ref.X[i] {
+			t.Fatalf("x[%d] = %g, want %g (exact)", i, c2.X[i], ref.X[i])
+		}
+	}
+	if c2.RSold != ref.RSold {
+		t.Error("rsold differs after recovery")
+	}
+}
+
+func TestESRValidation(t *testing.T) {
+	pool, _ := newPool(t, "nvm-esr")
+	if _, err := NewESRState(pool, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	st, err := NewESRState(pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := LaplacianSystem(16)
+	c, _ := NewCG(a, b)
+	if err := st.Save(c); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	a8, b8 := LaplacianSystem(8)
+	if _, err := st.Restore(a, b8); err == nil {
+		t.Error("restore dimension mismatch accepted")
+	}
+	c8, _ := NewCG(a8, b8)
+	if err := st.Save(c8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Restore(a8, b8); err != nil {
+		t.Fatal(err)
+	}
+	// Open on a pool without state fails.
+	pool2, _ := newPool(t, "empty")
+	if _, err := OpenESRState(pool2); err == nil {
+		t.Error("open without state accepted")
+	}
+}

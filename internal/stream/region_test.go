@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+)
+
+// testRegion is a minimal in-memory pmem.Region for this package's
+// tests (the production Region is a pmemfs.File wired by internal/core).
+type testRegion struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func newTestRegion(size int) *testRegion {
+	return &testRegion{data: make([]byte, size)}
+}
+
+func (r *testRegion) ReadAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("testRegion: out of range")
+	}
+	copy(p, r.data[off:])
+	return nil
+}
+
+func (r *testRegion) WriteAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("testRegion: out of range")
+	}
+	copy(r.data[off:], p)
+	return nil
+}
+
+func (r *testRegion) Size() int64      { return int64(len(r.data)) }
+func (r *testRegion) Persistent() bool { return true }

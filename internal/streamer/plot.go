@@ -1,0 +1,98 @@
+package streamer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII rendering of a figure group: a terminal approximation of the
+// paper's scatter plots, using the same ▲/●/× legend symbols.
+
+// RenderPlot draws one group of a figure as an ASCII chart of the given
+// plot-area size. Series points use the series symbol; colliding points
+// show '*'.
+func (f *Figure) RenderPlot(g GroupID, width, height int) string {
+	series := f.Groups[g]
+	if len(series) == 0 {
+		return fmt.Sprintf("(no data for group %s)\n", g)
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	maxY := 0.0
+	maxT := 0
+	for _, s := range series {
+		if v := s.Max(); v > maxY {
+			maxY = v
+		}
+		if len(s.Threads) > maxT {
+			maxT = len(s.Threads)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = make([]rune, width)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	for _, s := range series {
+		sym := []rune(s.Symbol)[0]
+		for i, t := range s.Threads {
+			x := (t - 1) * (width - 1) / max(maxT-1, 1)
+			y := height - 1 - int(s.GBps[i]/maxY*float64(height-1)+0.5)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			if grid[y][x] != ' ' && grid[y][x] != sym {
+				grid[y][x] = '*'
+			} else {
+				grid[y][x] = sym
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d %s — (%s) %s  [y: 0..%.1f GB/s, x: 1..%d threads]\n",
+		f.Number, strings.ToUpper(f.Op.String()), g, g.Title(), maxY, maxT)
+	for y, row := range grid {
+		label := "      "
+		if y == 0 {
+			label = fmt.Sprintf("%5.1f ", maxY)
+		}
+		if y == height-1 {
+			label = "  0.0 "
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "      %s %s (max %.1f GB/s)\n", s.Symbol, s.Label, s.Max())
+	}
+	return b.String()
+}
+
+// RenderPlots draws every group of the figure.
+func (f *Figure) RenderPlots(width, height int) string {
+	var b strings.Builder
+	for _, g := range Groups {
+		b.WriteString(f.RenderPlot(g, width, height))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

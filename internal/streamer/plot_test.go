@@ -1,0 +1,70 @@
+package streamer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderPlot(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.RenderPlot(Group1b, 60, 12)
+	// Both legend symbols appear in the plot area.
+	if !strings.Contains(p, SymbolDDR5OnNode) || !strings.Contains(p, SymbolCXLDDR4) {
+		t.Errorf("plot missing symbols:\n%s", p)
+	}
+	if !strings.Contains(p, "GB/s") || !strings.Contains(p, "Class 1.b") {
+		t.Error("plot missing annotations")
+	}
+	lines := strings.Split(p, "\n")
+	if len(lines) < 14 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+	// Tiny dimensions are clamped, not crashed.
+	if out := f.RenderPlot(Group1a, 1, 1); out == "" {
+		t.Error("clamped plot empty")
+	}
+	// Unknown group renders a notice.
+	if out := f.RenderPlot(GroupID("zz"), 40, 10); !strings.Contains(out, "no data") {
+		t.Error("missing-group plot")
+	}
+	// All-groups rendering contains every class.
+	all := f.RenderPlots(50, 10)
+	for _, g := range Groups {
+		if !strings.Contains(all, g.Title()) {
+			t.Errorf("RenderPlots missing %s", g)
+		}
+	}
+}
+
+func TestPlotVerticalOrdering(t *testing.T) {
+	// In group 1b the DDR5 series must plot above the CXL series:
+	// find the column of the last thread count and compare rows.
+	h := harness(t)
+	f, err := h.Figure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, hgt = 40, 20
+	p := f.RenderPlot(Group1b, w, hgt)
+	lines := strings.Split(p, "\n")
+	rowOf := func(sym string) int {
+		for i, l := range lines {
+			if idx := strings.LastIndex(l, sym); idx > 30 { // right side of plot
+				return i
+			}
+		}
+		return -1
+	}
+	ddr5 := rowOf(SymbolDDR5OnNode)
+	cxl := rowOf(SymbolCXLDDR4)
+	if ddr5 < 0 || cxl < 0 {
+		t.Skip("symbols collided into '*'; ordering not checkable on this geometry")
+	}
+	if ddr5 >= cxl {
+		t.Errorf("DDR5 series (row %d) should plot above CXL (row %d)", ddr5, cxl)
+	}
+}

@@ -1,0 +1,280 @@
+// Package streamer is the paper's released benchmarking tool (§1.4: "we
+// open-sourced the entire benchmarking methodology as an easy-to-use
+// and automated tool named STREAMer"): it drives STREAM and STREAM-PMem
+// over the full §3.2 configuration matrix and regenerates every figure
+// and table of the evaluation.
+//
+// Figure mapping (§4): Figure 5 = Scale, Figure 6 = Add, Figure 7 =
+// Copy, Figure 8 = Triad; each carries five test groups, Classes 1.a-1.c
+// (App-Direct) and 2.a-2.b (Memory Mode). Legend conventions follow the
+// paper: the symbol distinguishes on-node DDR4 (▲), on-node DDR5 (●)
+// and CXL-attached DDR4 (×); the annotation pmem#N / numa#N gives the
+// access mode and target node.
+package streamer
+
+import (
+	"fmt"
+	"strings"
+
+	"cxlpmem/internal/core"
+	"cxlpmem/internal/numa"
+	"cxlpmem/internal/perf"
+	"cxlpmem/internal/stream"
+	"cxlpmem/internal/topology"
+)
+
+// GroupID names a test group of §3.2.
+type GroupID string
+
+// The five groups.
+const (
+	Group1a GroupID = "1a" // local memory access as PMem
+	Group1b GroupID = "1b" // remote memory access as PMem
+	Group1c GroupID = "1c" // remote memory as PMem (thread affinity)
+	Group2a GroupID = "2a" // remote CC-NUMA
+	Group2b GroupID = "2b" // remote CC-NUMA (all cores)
+)
+
+// Groups lists them in presentation order (subfigures a-e).
+var Groups = []GroupID{Group1a, Group1b, Group1c, Group2a, Group2b}
+
+// Title returns the paper's caption for a group.
+func (g GroupID) Title() string {
+	switch g {
+	case Group1a:
+		return "Class 1.a: Local memory access as PMem"
+	case Group1b:
+		return "Class 1.b: Remote memory access as PMem"
+	case Group1c:
+		return "Class 1.c: Remote memory as PMem (thread affinity)"
+	case Group2a:
+		return "Class 2.a: Remote CC-NUMA"
+	case Group2b:
+		return "Class 2.b: Remote CC-NUMA (all cores)"
+	default:
+		return string(g)
+	}
+}
+
+// Symbols per the paper's legend.
+const (
+	SymbolDDR4OnNode = "▲"
+	SymbolDDR5OnNode = "●"
+	SymbolCXLDDR4    = "×"
+)
+
+// Series is one trend line: bandwidth vs thread count.
+type Series struct {
+	// Label combines the paper's annotation conventions, e.g.
+	// "socket0 pmem#2" or "close numa#1".
+	Label string
+	// Symbol per the legend (▲ ● ×).
+	Symbol string
+	// Setup identifies the machine ("setup1" or "setup2").
+	Setup string
+	// Threads is the x-axis.
+	Threads []int
+	// GBps is the y-axis.
+	GBps []float64
+}
+
+// At returns the bandwidth at a given thread count.
+func (s *Series) At(threads int) (float64, bool) {
+	for i, t := range s.Threads {
+		if t == threads {
+			return s.GBps[i], true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the peak of the series.
+func (s *Series) Max() float64 {
+	var m float64
+	for _, v := range s.GBps {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Figure is one of Figures 5-8: a kernel across the five groups.
+type Figure struct {
+	Number int
+	Op     stream.Op
+	Groups map[GroupID][]Series
+}
+
+// FigureOps maps figure numbers to kernels, following §4's order.
+var FigureOps = map[int]stream.Op{
+	5: stream.Scale,
+	6: stream.Add,
+	7: stream.Copy,
+	8: stream.Triad,
+}
+
+// Harness drives the full matrix over the two setups.
+type Harness struct {
+	S1 *core.Runtime // Setup #1: SPR + CXL
+	S2 *core.Runtime // Setup #2: Xeon Gold DDR4
+}
+
+// NewHarness assembles both machines.
+func NewHarness() (*Harness, error) {
+	s1, err := core.NewSetup1(topology.Setup1Options{})
+	if err != nil {
+		return nil, err
+	}
+	s2, err := core.NewSetup2()
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{S1: s1, S2: s2}, nil
+}
+
+// sweep produces one series.
+func (h *Harness) sweep(rt *core.Runtime, setup, label, symbol string,
+	cores []topology.Core, node topology.NodeID, op stream.Op, mode perf.AccessMode) (Series, error) {
+	rates, err := rt.Engine.ThreadSweep(cores, node, op.Mix(), mode)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{Label: label, Symbol: symbol, Setup: setup}
+	for i, r := range rates {
+		s.Threads = append(s.Threads, i+1)
+		s.GBps = append(s.GBps, r.GBps())
+	}
+	return s, nil
+}
+
+// Figure generates one full figure.
+func (h *Harness) Figure(number int) (*Figure, error) {
+	op, ok := FigureOps[number]
+	if !ok {
+		return nil, fmt.Errorf("streamer: no figure %d (have 5-8)", number)
+	}
+	f := &Figure{Number: number, Op: op, Groups: make(map[GroupID][]Series)}
+	type spec struct {
+		group  GroupID
+		rt     *core.Runtime
+		setup  string
+		label  string
+		symbol string
+		cores  func() ([]topology.Core, error)
+		node   topology.NodeID
+		mode   perf.AccessMode
+	}
+	m1, m2 := h.S1.Machine, h.S2.Machine
+	onSocket := func(m *topology.Machine, s topology.SocketID, n int) func() ([]topology.Core, error) {
+		return func() ([]topology.Core, error) { return numa.PlaceOnSocket(m, s, n) }
+	}
+	affinity := func(m *topology.Machine, a numa.Affinity) func() ([]topology.Core, error) {
+		return func() ([]topology.Core, error) { return numa.PlaceThreads(m, len(m.Cores()), a) }
+	}
+	specs := []spec{
+		// 1.a — App-Direct, socket-local (paper: pmem0 from socket0,
+		// pmem1 from socket1; both DDR5 ●).
+		{Group1a, h.S1, "setup1", "socket0 pmem#0", SymbolDDR5OnNode, onSocket(m1, 0, 10), 0, perf.AppDirect},
+		{Group1a, h.S1, "setup1", "socket1 pmem#1", SymbolDDR5OnNode, onSocket(m1, 1, 10), 1, perf.AppDirect},
+		// 1.b — App-Direct, remote: alternate socket DDR5 over UPI and
+		// the CXL DDR4 module.
+		{Group1b, h.S1, "setup1", "socket0 pmem#1", SymbolDDR5OnNode, onSocket(m1, 0, 10), 1, perf.AppDirect},
+		{Group1b, h.S1, "setup1", "socket0 pmem#2", SymbolCXLDDR4, onSocket(m1, 0, 10), 2, perf.AppDirect},
+		{Group1b, h.S1, "setup1", "socket1 pmem#0", SymbolDDR5OnNode, onSocket(m1, 1, 10), 0, perf.AppDirect},
+		{Group1b, h.S1, "setup1", "socket1 pmem#2", SymbolCXLDDR4, onSocket(m1, 1, 10), 2, perf.AppDirect},
+		// 1.c — both sockets, close vs spread, DDR5 and CXL targets.
+		{Group1c, h.S1, "setup1", "close pmem#0", SymbolDDR5OnNode, affinity(m1, numa.Close), 0, perf.AppDirect},
+		{Group1c, h.S1, "setup1", "spread pmem#0", SymbolDDR5OnNode, affinity(m1, numa.Spread), 0, perf.AppDirect},
+		{Group1c, h.S1, "setup1", "close pmem#2", SymbolCXLDDR4, affinity(m1, numa.Close), 2, perf.AppDirect},
+		{Group1c, h.S1, "setup1", "spread pmem#2", SymbolCXLDDR4, affinity(m1, numa.Spread), 2, perf.AppDirect},
+		// 2.a — Memory Mode, single socket: remote DDR5 CC-NUMA, CXL
+		// CC-NUMA, and Setup #2's remote DDR4 CC-NUMA.
+		{Group2a, h.S1, "setup1", "socket0 numa#1", SymbolDDR5OnNode, onSocket(m1, 0, 10), 1, perf.MemoryMode},
+		{Group2a, h.S1, "setup1", "socket0 numa#2", SymbolCXLDDR4, onSocket(m1, 0, 10), 2, perf.MemoryMode},
+		{Group2a, h.S2, "setup2", "socket0 numa#1", SymbolDDR4OnNode, onSocket(m2, 0, 10), 1, perf.MemoryMode},
+		// 2.b — Memory Mode, all cores (close placement as in
+		// Figure 9's membind dataflows).
+		{Group2b, h.S1, "setup1", "all numa#1", SymbolDDR5OnNode, affinity(m1, numa.Close), 1, perf.MemoryMode},
+		{Group2b, h.S1, "setup1", "all numa#2", SymbolCXLDDR4, affinity(m1, numa.Close), 2, perf.MemoryMode},
+		{Group2b, h.S2, "setup2", "all numa#0", SymbolDDR4OnNode, affinity(m2, numa.Close), 0, perf.MemoryMode},
+		{Group2b, h.S2, "setup2", "all numa#1", SymbolDDR4OnNode, affinity(m2, numa.Close), 1, perf.MemoryMode},
+	}
+	for _, sp := range specs {
+		cores, err := sp.cores()
+		if err != nil {
+			return nil, err
+		}
+		s, err := h.sweep(sp.rt, sp.setup, sp.label, sp.symbol, cores, sp.node, op, sp.mode)
+		if err != nil {
+			return nil, err
+		}
+		f.Groups[sp.group] = append(f.Groups[sp.group], s)
+	}
+	return f, nil
+}
+
+// AllFigures regenerates Figures 5-8.
+func (h *Harness) AllFigures() ([]*Figure, error) {
+	var out []*Figure
+	for _, n := range []int{5, 6, 7, 8} {
+		f, err := h.Figure(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RenderText renders a figure as aligned text tables, one per group.
+func (f *Figure) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: %s — various STREAM test configurations\n", f.Number, strings.ToUpper(f.Op.String()))
+	for _, g := range Groups {
+		series := f.Groups[g]
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n(%s) %s\n", g, g.Title())
+		fmt.Fprintf(&b, "%8s", "threads")
+		for _, s := range series {
+			fmt.Fprintf(&b, " %20s", s.Symbol+" "+s.Label)
+		}
+		b.WriteString("\n")
+		maxT := 0
+		for _, s := range series {
+			if len(s.Threads) > maxT {
+				maxT = len(s.Threads)
+			}
+		}
+		for t := 1; t <= maxT; t++ {
+			fmt.Fprintf(&b, "%8d", t)
+			for _, s := range series {
+				if v, ok := s.At(t); ok {
+					fmt.Fprintf(&b, " %20.2f", v)
+				} else {
+					fmt.Fprintf(&b, " %20s", "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderCSV renders a figure as CSV rows:
+// figure,group,setup,label,symbol,threads,gbps.
+func (f *Figure) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("figure,group,setup,label,symbol,threads,gbps\n")
+	for _, g := range Groups {
+		for _, s := range f.Groups[g] {
+			for i := range s.Threads {
+				fmt.Fprintf(&b, "%d,%s,%s,%q,%s,%d,%.3f\n",
+					f.Number, g, s.Setup, s.Label, s.Symbol, s.Threads[i], s.GBps[i])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package streamer
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpmem/internal/stream"
+)
+
+func harness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestFigureMapping(t *testing.T) {
+	if FigureOps[5] != stream.Scale || FigureOps[6] != stream.Add ||
+		FigureOps[7] != stream.Copy || FigureOps[8] != stream.Triad {
+		t.Error("figure-to-kernel mapping does not match §4")
+	}
+}
+
+func TestFigureStructure(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != stream.Scale || f.Number != 5 {
+		t.Error("figure identity")
+	}
+	// All five groups present with the right series counts.
+	wantSeries := map[GroupID]int{
+		Group1a: 2, Group1b: 4, Group1c: 4, Group2a: 3, Group2b: 4,
+	}
+	for g, want := range wantSeries {
+		if got := len(f.Groups[g]); got != want {
+			t.Errorf("group %s has %d series, want %d", g, got, want)
+		}
+	}
+	// Single-socket groups sweep 1..10, dual-socket 1..20.
+	for _, s := range f.Groups[Group1a] {
+		if len(s.Threads) != 10 {
+			t.Errorf("1a series %q sweeps %d threads, want 10", s.Label, len(s.Threads))
+		}
+	}
+	for _, s := range f.Groups[Group1c] {
+		if len(s.Threads) != 20 {
+			t.Errorf("1c series %q sweeps %d threads, want 20", s.Label, len(s.Threads))
+		}
+	}
+	if _, err := h.Figure(4); err == nil {
+		t.Error("figure 4 accepted")
+	}
+}
+
+func TestFigureSymbolsMatchLegend(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, series := range f.Groups {
+		for _, s := range series {
+			switch {
+			case strings.Contains(s.Label, "#2") && s.Setup == "setup1":
+				if s.Symbol != SymbolCXLDDR4 {
+					t.Errorf("%s/%s: symbol %s, want × (CXL DDR4)", g, s.Label, s.Symbol)
+				}
+			case s.Setup == "setup2":
+				if s.Symbol != SymbolDDR4OnNode {
+					t.Errorf("%s/%s: symbol %s, want ▲ (on-node DDR4)", g, s.Label, s.Symbol)
+				}
+			default:
+				if s.Symbol != SymbolDDR5OnNode {
+					t.Errorf("%s/%s: symbol %s, want ● (on-node DDR5)", g, s.Label, s.Symbol)
+				}
+			}
+		}
+	}
+}
+
+func TestFigureShapeMatchesPaper(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(5) // SCALE
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.a: both local series saturate in the paper's 20-22 band.
+	for _, s := range f.Groups[Group1a] {
+		if v := s.Max(); v < 19.5 || v > 22.5 {
+			t.Errorf("1a %q max = %.1f, want 20-22", s.Label, v)
+		}
+	}
+	// 1.b: remote DDR5 beats CXL; CXL is roughly half.
+	var ddr5, cxl float64
+	for _, s := range f.Groups[Group1b] {
+		if s.Label == "socket0 pmem#1" {
+			ddr5 = s.Max()
+		}
+		if s.Label == "socket0 pmem#2" {
+			cxl = s.Max()
+		}
+	}
+	if !(ddr5 > cxl && cxl > 0.4*ddr5 && cxl < 0.6*ddr5) {
+		t.Errorf("1b: ddr5 %.1f vs cxl %.1f not in the ~50%% relation", ddr5, cxl)
+	}
+	// 1.c: close on pmem0 dips when remote cores join (11+ threads).
+	for _, s := range f.Groups[Group1c] {
+		if s.Label != "close pmem#0" {
+			continue
+		}
+		at10, _ := s.At(10)
+		at14, _ := s.At(14)
+		if at14 >= at10 {
+			t.Errorf("1c close pmem#0: %.1f@14 should dip below %.1f@10", at14, at10)
+		}
+	}
+	// 2.a: Setup2 remote DDR4 within 5 GB/s of CXL.
+	var s2ddr4, s1cxl float64
+	for _, s := range f.Groups[Group2a] {
+		if s.Setup == "setup2" {
+			s2ddr4 = s.Max()
+		}
+		if s.Label == "socket0 numa#2" {
+			s1cxl = s.Max()
+		}
+	}
+	if d := s1cxl - s2ddr4; d < -5 || d > 5 {
+		t.Errorf("2a: CXL %.1f vs setup2 DDR4 %.1f gap out of band", s1cxl, s2ddr4)
+	}
+}
+
+func TestAllFigures(t *testing.T) {
+	h := harness(t)
+	figs, err := h.AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	seen := map[stream.Op]bool{}
+	for _, f := range figs {
+		seen[f.Op] = true
+	}
+	if len(seen) != 4 {
+		t.Error("duplicate kernel across figures")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := f.RenderText()
+	for _, want := range []string{"TRIAD", "Class 1.a", "Class 2.b", "pmem#2", "numa#1", "threads"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("RenderText missing %q", want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	h := harness(t)
+	f, err := h.Figure(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := f.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "figure,group,setup,label,symbol,threads,gbps" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	// 2*10 + 4*10 + 4*20 + (2*10+10) + 4*20 data rows.
+	want := 20 + 40 + 80 + 30 + 80
+	if got := len(lines) - 1; got != want {
+		t.Errorf("csv rows = %d, want %d", got, want)
+	}
+	if !strings.Contains(csv, "6,1b,setup1") {
+		t.Error("csv rows malformed")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Threads: []int{1, 2, 3}, GBps: []float64{1, 5, 3}}
+	if v, ok := s.At(2); !ok || v != 5 {
+		t.Error("At")
+	}
+	if _, ok := s.At(9); ok {
+		t.Error("At missing")
+	}
+	if s.Max() != 5 {
+		t.Error("Max")
+	}
+	for _, g := range Groups {
+		if g.Title() == "" {
+			t.Error("empty group title")
+		}
+	}
+	if GroupID("zz").Title() != "zz" {
+		t.Error("unknown group title")
+	}
+}
+
+func TestSummaryClaimsAllPass(t *testing.T) {
+	h := harness(t)
+	claims, err := h.SummaryClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 9 {
+		t.Fatalf("claims = %d, want 9", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: paper %q, measured %q", c.ID, c.Paper, c.Measured)
+		}
+	}
+	txt := FormatClaims(claims)
+	if !strings.Contains(txt, "PASS") || !strings.Contains(txt, "local-saturation") {
+		t.Error("FormatClaims output")
+	}
+}
+
+func TestDCPMMTableShowsCXLWinning(t *testing.T) {
+	h := harness(t)
+	rows, err := h.DCPMMTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	published, cxl := rows[0], rows[2]
+	if published.ReadGBps != 6.6 || published.WriteGBps != 2.3 {
+		t.Errorf("published row = %+v", published)
+	}
+	// §1.4: the CXL module outperforms published DCPMM, especially
+	// on writes.
+	if cxl.WriteGBps <= published.WriteGBps {
+		t.Errorf("CXL write %.1f should beat DCPMM %.1f", cxl.WriteGBps, published.WriteGBps)
+	}
+	if cxl.ReadGBps <= published.WriteGBps {
+		t.Errorf("CXL read %.1f unreasonably low", cxl.ReadGBps)
+	}
+	txt := FormatDCPMMTable(rows)
+	if !strings.Contains(txt, "Optane") || !strings.Contains(txt, "CXL-DDR4") {
+		t.Error("table rendering")
+	}
+}
+
+func TestDataflows(t *testing.T) {
+	h := harness(t)
+	txt, err := h.Dataflows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(1a)", "(2b)", "/mnt/pmem2", "upi0", "membind"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Dataflows missing %q:\n%s", want, txt)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package tiering implements the paper's second future-work item (§6):
+// "Hybrid Architectures: Combining different memory technologies, such
+// as DDR, PMem, and CXL memory, in a hybrid memory architecture could
+// offer a balanced solution that leverages the strengths of each
+// technology."
+//
+// A Manager owns a set of fixed-size pages whose backing tier is chosen
+// by access frequency: hot pages are promoted toward the fastest tier
+// with free capacity, cold pages demoted toward the slowest. Promotion
+// and demotion physically move the page contents between devices (real
+// data movement, as everywhere in this repository) and the modelled
+// cost of every migration is accounted.
+package tiering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/topology"
+	"cxlpmem/internal/units"
+)
+
+// PageSize is the migration granule (2 MiB, a huge page).
+const PageSize = 2 << 20
+
+// Tier is one memory technology in the hybrid hierarchy, fastest first.
+type Tier struct {
+	// Name of the tier ("ddr5", "cxl", "dcpmm").
+	Name string
+	// Node backing the tier.
+	Node *topology.Node
+	// Capacity in pages granted to the manager.
+	CapacityPages int
+
+	used map[PageID]int64 // page -> device offset
+	free []int64          // free device offsets
+}
+
+// PageID names a managed page.
+type PageID int
+
+// pageState tracks placement and heat.
+type pageState struct {
+	tier     int // index into tiers
+	accesses uint64
+}
+
+// Manager places pages across tiers.
+type Manager struct {
+	mu    sync.Mutex
+	tiers []*Tier
+	pages map[PageID]*pageState
+	next  PageID
+
+	// stats
+	promotions    int
+	demotions     int
+	bytesMigrated int64
+}
+
+// NewManager builds a hierarchy from fastest to slowest tier. Each
+// tier's device must hold CapacityPages × PageSize bytes.
+func NewManager(tiers ...*Tier) (*Manager, error) {
+	if len(tiers) < 2 {
+		return nil, fmt.Errorf("tiering: need at least two tiers, got %d", len(tiers))
+	}
+	for i, t := range tiers {
+		if t.Node == nil || t.CapacityPages <= 0 {
+			return nil, fmt.Errorf("tiering: tier %d (%s) invalid", i, t.Name)
+		}
+		need := int64(t.CapacityPages) * PageSize
+		if need > t.Node.Device.Capacity().Bytes() {
+			return nil, fmt.Errorf("tiering: tier %s wants %d bytes, device has %v", t.Name, need, t.Node.Device.Capacity())
+		}
+		t.used = make(map[PageID]int64)
+		t.free = t.free[:0]
+		for p := t.CapacityPages - 1; p >= 0; p-- {
+			t.free = append(t.free, int64(p)*PageSize)
+		}
+	}
+	return &Manager{tiers: tiers, pages: make(map[PageID]*pageState)}, nil
+}
+
+// Tiers lists the hierarchy.
+func (m *Manager) Tiers() []*Tier { return m.tiers }
+
+// Alloc places a new page on the fastest tier with room, falling
+// through to slower tiers (first-touch placement).
+func (m *Manager) Alloc() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, t := range m.tiers {
+		if len(t.free) > 0 {
+			off := t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			id := m.next
+			m.next++
+			t.used[id] = off
+			m.pages[id] = &pageState{tier: i}
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("tiering: all tiers full")
+}
+
+// Free releases a page.
+func (m *Manager) Free(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	t := m.tiers[st.tier]
+	t.free = append(t.free, t.used[id])
+	delete(t.used, id)
+	delete(m.pages, id)
+	return nil
+}
+
+// locate returns the tier and offset of a page.
+func (m *Manager) locate(id PageID) (*Tier, int64, *pageState, error) {
+	st, ok := m.pages[id]
+	if !ok {
+		return nil, 0, nil, fmt.Errorf("tiering: no page %d", id)
+	}
+	t := m.tiers[st.tier]
+	return t, t.used[id], st, nil
+}
+
+// Read copies from a page, counting the access.
+func (m *Manager) Read(id PageID, p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > PageSize {
+		return fmt.Errorf("tiering: access outside page")
+	}
+	t, base, st, err := m.locate(id)
+	if err != nil {
+		return err
+	}
+	st.accesses++
+	return t.Node.Device.ReadAt(p, base+off)
+}
+
+// Write copies into a page, counting the access.
+func (m *Manager) Write(id PageID, p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > PageSize {
+		return fmt.Errorf("tiering: access outside page")
+	}
+	t, base, st, err := m.locate(id)
+	if err != nil {
+		return err
+	}
+	st.accesses++
+	return t.Node.Device.WriteAt(p, base+off)
+}
+
+// TierOf reports a page's current tier index (0 = fastest).
+func (m *Manager) TierOf(id PageID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.pages[id]
+	if !ok {
+		return 0, fmt.Errorf("tiering: no page %d", id)
+	}
+	return st.tier, nil
+}
+
+// Heat reports a page's access count since the last Rebalance.
+func (m *Manager) Heat(id PageID) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.pages[id]
+	if !ok {
+		return 0, fmt.Errorf("tiering: no page %d", id)
+	}
+	return st.accesses, nil
+}
+
+// migrate physically moves a page between tiers. Caller holds the lock
+// and has verified a free slot exists on dst.
+func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
+	src := m.tiers[st.tier]
+	dstT := m.tiers[dst]
+	srcOff := src.used[id]
+	dstOff := dstT.free[len(dstT.free)-1]
+	buf := make([]byte, PageSize)
+	if err := src.Node.Device.ReadAt(buf, srcOff); err != nil {
+		return err
+	}
+	if err := dstT.Node.Device.WriteAt(buf, dstOff); err != nil {
+		return err
+	}
+	dstT.free = dstT.free[:len(dstT.free)-1]
+	dstT.used[id] = dstOff
+	src.free = append(src.free, srcOff)
+	delete(src.used, id)
+	if dst < st.tier {
+		m.promotions++
+	} else {
+		m.demotions++
+	}
+	m.bytesMigrated += 2 * PageSize
+	st.tier = dst
+	return nil
+}
+
+// Rebalance sorts pages by heat and packs the hottest into the fastest
+// tiers, migrating as needed, then resets the heat counters (an epoch-
+// based kernel-style tiering daemon). Returns the number of migrations.
+func (m *Manager) Rebalance() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type entry struct {
+		id PageID
+		st *pageState
+	}
+	all := make([]entry, 0, len(m.pages))
+	for id, st := range m.pages {
+		all = append(all, entry{id, st})
+	}
+	// Hottest first; stable tie-break by id for determinism.
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].st.accesses != all[b].st.accesses {
+			return all[a].st.accesses > all[b].st.accesses
+		}
+		return all[a].id < all[b].id
+	})
+	// Desired layout: fill tier 0 with the hottest, then tier 1, ...
+	want := make(map[PageID]int, len(all))
+	ti, left := 0, m.tiers[0].CapacityPages
+	for _, e := range all {
+		for left == 0 {
+			ti++
+			if ti >= len(m.tiers) {
+				return 0, fmt.Errorf("tiering: pages exceed total capacity")
+			}
+			left = m.tiers[ti].CapacityPages
+		}
+		want[e.id] = ti
+		left--
+	}
+	// Route pages to their desired tiers. Plain migrations need a free
+	// slot at the destination; when every tier is exactly full the
+	// desired layout is a permutation and cycles are broken by
+	// swapping a misplaced page with a misplaced occupant of its
+	// desired tier (each swap fixes at least one page, so the loop
+	// terminates).
+	migrations := 0
+	for {
+		progress := false
+		done := true
+		for _, e := range all {
+			if want[e.id] == e.st.tier {
+				continue
+			}
+			done = false
+			if len(m.tiers[want[e.id]].free) > 0 {
+				if err := m.migrate(e.id, e.st, want[e.id]); err != nil {
+					return migrations, err
+				}
+				migrations++
+				progress = true
+			}
+		}
+		if done {
+			break
+		}
+		if progress {
+			continue
+		}
+		// No free slots anywhere along the desired routes: swap.
+		swapped := false
+		for _, e := range all {
+			if want[e.id] == e.st.tier {
+				continue
+			}
+			for _, f := range all {
+				if f.id == e.id || f.st.tier != want[e.id] || want[f.id] == f.st.tier {
+					continue
+				}
+				if err := m.swap(e.id, e.st, f.id, f.st); err != nil {
+					return migrations, err
+				}
+				migrations += 2
+				swapped = true
+				break
+			}
+			if swapped {
+				break
+			}
+		}
+		if !swapped {
+			return migrations, fmt.Errorf("tiering: rebalance stuck (capacity mismatch)")
+		}
+	}
+	for _, e := range all {
+		e.st.accesses = 0
+	}
+	return migrations, nil
+}
+
+// swap exchanges two pages' backing slots (and contents) across tiers.
+// Caller holds the lock.
+func (m *Manager) swap(idA PageID, stA *pageState, idB PageID, stB *pageState) error {
+	tA, tB := m.tiers[stA.tier], m.tiers[stB.tier]
+	offA, offB := tA.used[idA], tB.used[idB]
+	bufA := make([]byte, PageSize)
+	bufB := make([]byte, PageSize)
+	if err := tA.Node.Device.ReadAt(bufA, offA); err != nil {
+		return err
+	}
+	if err := tB.Node.Device.ReadAt(bufB, offB); err != nil {
+		return err
+	}
+	if err := tA.Node.Device.WriteAt(bufB, offA); err != nil {
+		return err
+	}
+	if err := tB.Node.Device.WriteAt(bufA, offB); err != nil {
+		return err
+	}
+	delete(tA.used, idA)
+	delete(tB.used, idB)
+	tA.used[idB] = offA
+	tB.used[idA] = offB
+	stA.tier, stB.tier = stB.tier, stA.tier
+	// A swap always moves one page up and one down.
+	m.promotions++
+	m.demotions++
+	m.bytesMigrated += 4 * PageSize
+	return nil
+}
+
+// Stats summarises migration activity.
+type Stats struct {
+	Promotions    int
+	Demotions     int
+	BytesMigrated int64
+	PagesPerTier  []int
+}
+
+// Stats returns a snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Promotions:    m.promotions,
+		Demotions:     m.demotions,
+		BytesMigrated: m.bytesMigrated,
+	}
+	for _, t := range m.tiers {
+		s.PagesPerTier = append(s.PagesPerTier, len(t.used))
+	}
+	return s
+}
+
+// AvgAccessLatency models the average unloaded access latency across the
+// current placement for a given access distribution: pages' heat (from
+// the counters accumulated since the last Rebalance) weights each
+// tier's latency from core c. This is the figure of merit the hybrid
+// architecture optimises.
+func (m *Manager) AvgAccessLatency(machine *topology.Machine, c topology.Core) (units.Latency, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var weighted, total float64
+	for _, st := range m.pages {
+		lat, err := machine.AccessLatency(c, m.tiers[st.tier].Node.ID)
+		if err != nil {
+			return 0, err
+		}
+		w := float64(st.accesses)
+		if w == 0 {
+			w = 0.01 // cold pages still count slightly
+		}
+		weighted += w * lat.Ns()
+		total += w
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("tiering: no pages")
+	}
+	return units.Nanoseconds(weighted / total), nil
+}
+
+// NewDDR5CXLDCPMMHierarchy is a convenience builder: the three-tier
+// hybrid the paper's future work sketches, assembled from a Setup #1
+// machine plus a DCPMM module as the cold tier.
+func NewDDR5CXLDCPMMHierarchy(m *topology.Machine, fastPages, midPages, coldPages int) (*Manager, *topology.Machine, error) {
+	n0, err := m.Node(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	n2, err := m.Node(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := memdev.NewDCPMM(memdev.DCPMMConfig{Name: "cold-dcpmm", Modules: 1, Capacity: 128 * units.GiB})
+	if err != nil {
+		return nil, nil, err
+	}
+	coldNode := &topology.Node{ID: 3, Kind: topology.NodePMem, Device: pm, HomeSocket: 0}
+	hybrid := &topology.Machine{
+		Name:    m.Name + "+dcpmm",
+		Sockets: m.Sockets,
+		Nodes:   append(append([]*topology.Node{}, m.Nodes...), coldNode),
+		UPI:     m.UPI,
+	}
+	if err := hybrid.Validate(); err != nil {
+		return nil, nil, err
+	}
+	mgr, err := NewManager(
+		&Tier{Name: "ddr5", Node: n0, CapacityPages: fastPages},
+		&Tier{Name: "cxl", Node: n2, CapacityPages: midPages},
+		&Tier{Name: "dcpmm", Node: coldNode, CapacityPages: coldPages},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mgr, hybrid, nil
+}

@@ -1,0 +1,311 @@
+package tiering
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cxlpmem/internal/topology"
+)
+
+func hierarchy(t *testing.T, fast, mid, cold int) (*Manager, *topology.Machine) {
+	t.Helper()
+	m, _, err := topology.Setup1(topology.Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, hybrid, err := NewDDR5CXLDCPMMHierarchy(m, fast, mid, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, hybrid
+}
+
+func TestHierarchyBuilder(t *testing.T) {
+	mgr, hybrid := hierarchy(t, 2, 4, 8)
+	if len(mgr.Tiers()) != 3 {
+		t.Fatalf("tiers = %d", len(mgr.Tiers()))
+	}
+	names := []string{"ddr5", "cxl", "dcpmm"}
+	for i, tr := range mgr.Tiers() {
+		if tr.Name != names[i] {
+			t.Errorf("tier %d = %s, want %s", i, tr.Name, names[i])
+		}
+	}
+	if len(hybrid.Nodes) != 4 {
+		t.Errorf("hybrid machine nodes = %d, want 4", len(hybrid.Nodes))
+	}
+	// Latency ordering across the hybrid: ddr5 < cxl < dcpmm? DCPMM is
+	// DIMM-attached (305ns idle) vs CXL 345ns — CXL is actually the
+	// slower latency tier but the faster bandwidth tier; verify both
+	// latencies exceed local DDR5.
+	c0, err := hybrid.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, _ := hybrid.AccessLatency(c0, 0)
+	l2, _ := hybrid.AccessLatency(c0, 2)
+	l3, _ := hybrid.AccessLatency(c0, 3)
+	if !(l0 < l2 && l0 < l3) {
+		t.Errorf("latency ordering: ddr5 %v, cxl %v, dcpmm %v", l0, l2, l3)
+	}
+}
+
+func TestAllocFirstTouchPlacement(t *testing.T) {
+	mgr, _ := hierarchy(t, 2, 2, 2)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := mgr.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// First two pages on tier 0, next two on tier 1, last two on 2.
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i, id := range ids {
+		tier, err := mgr.TierOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != want[i] {
+			t.Errorf("page %d on tier %d, want %d", id, tier, want[i])
+		}
+	}
+	if _, err := mgr.Alloc(); err == nil {
+		t.Error("alloc past total capacity accepted")
+	}
+	// Freeing reopens capacity on the page's tier.
+	if err := mgr.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	id, err := mgr.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier, _ := mgr.TierOf(id); tier != 0 {
+		t.Errorf("freed fast slot not reused: tier %d", tier)
+	}
+	if err := mgr.Free(99); err == nil {
+		t.Error("free of unknown page accepted")
+	}
+}
+
+func TestReadWriteAndHeat(t *testing.T) {
+	mgr, _ := hierarchy(t, 1, 1, 1)
+	id, err := mgr.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("tiered page data")
+	if err := mgr.Write(id, in, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := mgr.Read(id, out, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("round trip mismatch")
+	}
+	heat, err := mgr.Heat(id)
+	if err != nil || heat != 2 {
+		t.Errorf("heat = %d, %v; want 2", heat, err)
+	}
+	if err := mgr.Read(id, out, PageSize-8); err == nil {
+		t.Error("out-of-page read accepted")
+	}
+	if err := mgr.Write(id, out, -1); err == nil {
+		t.Error("negative write accepted")
+	}
+	if _, err := mgr.Heat(42); err == nil {
+		t.Error("heat of unknown page accepted")
+	}
+}
+
+func TestRebalancePromotesHotDemotesCold(t *testing.T) {
+	mgr, _ := hierarchy(t, 1, 1, 1)
+	a, _ := mgr.Alloc() // lands tier 0
+	b, _ := mgr.Alloc() // tier 1
+	c, _ := mgr.Alloc() // tier 2
+	// Make c hot, a cold, b warm; write distinct content to verify
+	// migration moves the bytes.
+	if err := mgr.Write(c, []byte("hot-data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < 30; i++ {
+		if err := mgr.Read(c, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := mgr.Read(b, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a untouched.
+	n, err := mgr.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no migrations happened")
+	}
+	ta, _ := mgr.TierOf(a)
+	tb, _ := mgr.TierOf(b)
+	tc, _ := mgr.TierOf(c)
+	if tc != 0 {
+		t.Errorf("hot page on tier %d, want 0", tc)
+	}
+	if tb != 1 {
+		t.Errorf("warm page on tier %d, want 1", tb)
+	}
+	if ta != 2 {
+		t.Errorf("cold page on tier %d, want 2", ta)
+	}
+	// Heat resets after rebalance (checked before any further access).
+	if h, _ := mgr.Heat(c); h != 0 {
+		t.Errorf("heat after rebalance = %d", h)
+	}
+	// Content followed the page.
+	if err := mgr.Read(c, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hot-data" {
+		t.Errorf("migrated content = %q", buf)
+	}
+	st := mgr.Stats()
+	if st.Promotions == 0 || st.Demotions == 0 || st.BytesMigrated == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(st.PagesPerTier) != 3 || st.PagesPerTier[0] != 1 {
+		t.Errorf("pages per tier = %v", st.PagesPerTier)
+	}
+}
+
+func TestRebalanceReducesAvgLatency(t *testing.T) {
+	mgr, hybrid := hierarchy(t, 2, 2, 2)
+	c0, err := hybrid.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill all six pages; make the two dcpmm-resident ones hottest.
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := mgr.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	buf := make([]byte, 8)
+	for _, id := range ids[4:] { // the cold-tier pages
+		for i := 0; i < 50; i++ {
+			if err := mgr.Read(id, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before, err := mgr.AvgAccessLatency(hybrid, c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-apply the same access pattern to the (now fast-resident)
+	// hot pages and re-measure.
+	for _, id := range ids[4:] {
+		for i := 0; i < 50; i++ {
+			if err := mgr.Read(id, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after, err := mgr.AvgAccessLatency(hybrid, c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("rebalance did not reduce avg latency: %v -> %v", before, after)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	m, _, err := topology.Setup1(topology.Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, _ := m.Node(0)
+	if _, err := NewManager(&Tier{Name: "one", Node: n0, CapacityPages: 1}); err == nil {
+		t.Error("single tier accepted")
+	}
+	if _, err := NewManager(
+		&Tier{Name: "a", Node: n0, CapacityPages: 1},
+		&Tier{Name: "b", Node: nil, CapacityPages: 1},
+	); err == nil {
+		t.Error("nil node accepted")
+	}
+	if _, err := NewManager(
+		&Tier{Name: "a", Node: n0, CapacityPages: 1},
+		&Tier{Name: "b", Node: n0, CapacityPages: 1 << 30},
+	); err == nil {
+		t.Error("capacity beyond device accepted")
+	}
+}
+
+// Property: after any access pattern and a rebalance, the heat ordering
+// is respected — no page on a slower tier was hotter than a page on a
+// faster tier at rebalance time.
+func TestRebalanceOrderingProperty(t *testing.T) {
+	f := func(pattern []uint8) bool {
+		mgr, _ := hierarchyQuick()
+		var ids []PageID
+		for i := 0; i < 6; i++ {
+			id, err := mgr.Alloc()
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		buf := make([]byte, 8)
+		heats := make(map[PageID]int)
+		for _, b := range pattern {
+			id := ids[int(b)%len(ids)]
+			if err := mgr.Read(id, buf, 0); err != nil {
+				return false
+			}
+			heats[id]++
+		}
+		if _, err := mgr.Rebalance(); err != nil {
+			return false
+		}
+		// Check: for every pair, hotter page is on a tier <= cooler's.
+		for _, a := range ids {
+			for _, b := range ids {
+				ta, _ := mgr.TierOf(a)
+				tb, _ := mgr.TierOf(b)
+				if heats[a] > heats[b] && ta > tb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hierarchyQuick() (*Manager, *topology.Machine) {
+	m, _, err := topology.Setup1(topology.Setup1Options{})
+	if err != nil {
+		panic(err)
+	}
+	mgr, hybrid, err := NewDDR5CXLDCPMMHierarchy(m, 2, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	return mgr, hybrid
+}

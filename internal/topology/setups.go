@@ -1,0 +1,220 @@
+package topology
+
+import (
+	"fmt"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/interconnect"
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// Calibration anchors. Every constant here is chosen so the generated
+// curves reproduce the paper's §4 relationships; provenance for each is
+// noted inline. We do not claim the authors' absolute numbers — the
+// shapes and ratios are the reproduction target (see DESIGN.md §4).
+const (
+	// SPR per-core MLP: deep load queues and a large LLC sustain ~12
+	// outstanding lines; at 95 ns local latency that is ~8 GB/s per
+	// core, saturating the single-DIMM DDR5 socket around 3-4 threads
+	// as the paper's Class 1.a curves do.
+	sprMLP = 12
+	// Xeon Gold 5215 (Cascade Lake) sustains fewer outstanding misses;
+	// 5 lines at 220 ns remote latency is ~1.45 GB/s per core — below
+	// the prototype's ~1.75, reproducing the §4 Class 2.a "slight
+	// advantage ... for accessing CXL memory" at low thread counts.
+	xeonGoldMLP = 5
+
+	// Single-DIMM DDR5-4800 sustained STREAM efficiency. 38.4 GB/s
+	// theoretical × 0.62 ≈ 23.8 GB/s, which after the ~12% PMDK
+	// App-Direct overhead lands in the paper's 20-22 GB/s Class 1.a
+	// saturation band.
+	sprDIMMEfficiency = 0.62
+
+	// SPR UPI: sustained remote STREAM cap ~17.5 GB/s and +110 ns,
+	// giving the −30% Class 1.b remote-socket degradation.
+	sprUPIGBps      = 17.5
+	sprUPILatencyNs = 110
+
+	// Xeon Gold UPI (10.4 GT/s generation): a sustained ~6 GB/s
+	// remote STREAM cap and +130 ns puts remote DDR4 CC-NUMA within
+	// the paper's 2-5 GB/s gap of the CXL DDR4 figures (§4 Class 2.a).
+	xeonGoldUPIGBps      = 6.0
+	xeonGoldUPILatencyNs = 130
+
+	// CXL IP slice throughput: the prototype is implementation-bound
+	// well below both the Gen5 link and the 2-channel DDR4 media
+	// (§2.2 "subject to current implementation constraints"). One
+	// slice sustains ~8.3 GB/s: App-Direct CXL then lands near 7.3
+	// GB/s — the paper's ~50% drop from remote-socket DDR5 PMem, with
+	// the 2-3 GB/s fabric loss vs raw DDR4 visible in the numbers.
+	cxlIPSliceGBps = 8.3
+)
+
+// SPRModel is the Setup #1 processor (§2.1: "two Intel 4th generation
+// Xeon (Sapphire Rapids) processors with a base frequency of 2.1GHz and
+// 48 cores each ... BIOS was updated to support only 10 cores per
+// socket").
+var SPRModel = CPUModel{
+	Name:           "Xeon Sapphire Rapids",
+	BaseGHz:        2.1,
+	CoresPerSocket: 10,
+	HyperThreading: true,
+	MLP:            sprMLP,
+	LLCMiB:         105,
+}
+
+// XeonGoldModel is the Setup #2 processor (§2.1: "two Intel Xeon Gold
+// 5215 processors with a base frequency of 2.5GHz and 10 cores each").
+var XeonGoldModel = CPUModel{
+	Name:           "Xeon Gold 5215",
+	BaseGHz:        2.5,
+	CoresPerSocket: 10,
+	HyperThreading: true,
+	MLP:            xeonGoldMLP,
+	LLCMiB:         14,
+}
+
+// Setup1Options tweaks the Setup #1 builder for ablations.
+type Setup1Options struct {
+	// FPGA overrides the prototype configuration (zero value =
+	// paper's card).
+	FPGA fpga.Options
+	// IPSlices scales the CXL IP throughput (default 1 slice).
+	IPSlices int
+}
+
+// Setup1 builds the paper's Setup #1 (Figure 2): two SPR sockets, one
+// 64 GB DDR5-4800 DIMM each, and the CXL FPGA prototype attached to
+// socket0's root complex. The prototype is built, trained and enumerated
+// exactly as the real card would be; node 2 is its HDM window.
+func Setup1(opts Setup1Options) (*Machine, *fpga.Prototype, error) {
+	m := &Machine{Name: "setup1-spr-cxl"}
+	m.Sockets = []*Socket{
+		newSocket(0, SPRModel, 0),
+		newSocket(1, SPRModel, 10),
+	}
+	m.UPI = interconnect.NewUPI("upi0", units.GBps(sprUPIGBps), units.Nanoseconds(sprUPILatencyNs))
+
+	for sock := 0; sock < 2; sock++ {
+		d, err := memdev.NewDRAM(memdev.DRAMConfig{
+			Name:               fmt.Sprintf("ddr5-socket%d", sock),
+			Rate:               4800,
+			Channels:           1,
+			CapacityPerChannel: 64 * units.GiB,
+			IdleLatency:        units.Nanoseconds(95),
+			Efficiency:         sprDIMMEfficiency,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Nodes = append(m.Nodes, &Node{
+			ID:         NodeID(sock),
+			Kind:       NodeDRAM,
+			Device:     d,
+			HomeSocket: SocketID(sock),
+		})
+	}
+
+	card, err := fpga.New(opts.FPGA)
+	if err != nil {
+		return nil, nil, err
+	}
+	rp := cxl.NewRootPort("rp0", card.Link())
+	if err := rp.Attach(card); err != nil {
+		return nil, nil, err
+	}
+	h, err := cxl.Enumerate(0, rp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(h.Windows) != 1 {
+		return nil, nil, fmt.Errorf("topology: setup1: enumerated %d windows, want 1", len(h.Windows))
+	}
+	slices := opts.IPSlices
+	if slices == 0 {
+		slices = 1
+	}
+	if slices < 0 {
+		return nil, nil, fmt.Errorf("topology: setup1: negative IP slices")
+	}
+	m.Nodes = append(m.Nodes, &Node{
+		ID:           2,
+		Kind:         NodeCXL,
+		Device:       card.Media(),
+		HomeSocket:   -1,
+		AttachSocket: 0,
+		IPCap:        units.GBps(cxlIPSliceGBps * float64(slices)),
+		Port:         rp,
+		Window:       h.Windows[0],
+	})
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, card, nil
+}
+
+// Setup2 builds the paper's Setup #2 (Figure 3): two Xeon Gold 5215
+// sockets, six 16 GB DDR4-2666 channels each, no CXL attachment.
+func Setup2() (*Machine, error) {
+	m := &Machine{Name: "setup2-xeongold-ddr4"}
+	m.Sockets = []*Socket{
+		newSocket(0, XeonGoldModel, 0),
+		newSocket(1, XeonGoldModel, 10),
+	}
+	m.UPI = interconnect.NewUPI("upi0", units.GBps(xeonGoldUPIGBps), units.Nanoseconds(xeonGoldUPILatencyNs))
+	for sock := 0; sock < 2; sock++ {
+		d, err := memdev.NewDRAM(memdev.DRAMConfig{
+			Name:               fmt.Sprintf("ddr4-socket%d", sock),
+			Rate:               2666,
+			Channels:           6,
+			CapacityPerChannel: 16 * units.GiB,
+			IdleLatency:        units.Nanoseconds(90),
+			Efficiency:         sprDIMMEfficiency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Nodes = append(m.Nodes, &Node{
+			ID:         NodeID(sock),
+			Kind:       NodeDRAM,
+			Device:     d,
+			HomeSocket: SocketID(sock),
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DCPMMReference builds the platform class the published Optane numbers
+// come from (§1.4): one socket with DRAM on node 0 and a DIMM-attached
+// DCPMM module on node 1. Used by the DCPMM comparison table.
+func DCPMMReference() (*Machine, error) {
+	m := &Machine{Name: "dcpmm-reference"}
+	model := XeonGoldModel // Cascade Lake was DCPMM's host generation.
+	m.Sockets = []*Socket{newSocket(0, model, 0)}
+	dram, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name:               "ddr4-socket0",
+		Rate:               2666,
+		Channels:           6,
+		CapacityPerChannel: 16 * units.GiB,
+		IdleLatency:        units.Nanoseconds(90),
+		Efficiency:         sprDIMMEfficiency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Nodes = append(m.Nodes, &Node{ID: 0, Kind: NodeDRAM, Device: dram, HomeSocket: 0})
+	pm, err := memdev.NewDCPMM(memdev.DCPMMConfig{Name: "optane-dcpmm", Modules: 1, Capacity: 128 * units.GiB})
+	if err != nil {
+		return nil, err
+	}
+	m.Nodes = append(m.Nodes, &Node{ID: 1, Kind: NodePMem, Device: pm, HomeSocket: 0})
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

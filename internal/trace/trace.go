@@ -1,0 +1,238 @@
+// Package trace records device access streams. The paper's §1.3 lists
+// "efficient data placement and movement strategies" as the key
+// software challenge for CXL-based disaggregated memory; placement
+// decisions need access telemetry, and this package provides it: a
+// transparent memdev.Device wrapper that logs every access, plus the
+// locality and reuse analyses a placement policy (such as
+// internal/tiering) would consume, and a replayer that drives a
+// recorded workload against any other device.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// Op is an access type.
+type Op uint8
+
+const (
+	// OpRead is a ReadAt.
+	OpRead Op = iota
+	// OpWrite is a WriteAt.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpWrite {
+		return "W"
+	}
+	return "R"
+}
+
+// Event is one recorded access.
+type Event struct {
+	Seq int64
+	Op  Op
+	Off int64
+	Len int
+}
+
+// Recorder wraps a device and logs accesses. It implements
+// memdev.Device so it can stand anywhere a device does (a pmemfs mount
+// accessor, a tier, a pool region).
+type Recorder struct {
+	inner memdev.Device
+
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+	limit  int
+}
+
+// NewRecorder wraps dev, keeping at most limit events (0 = 1<<20).
+func NewRecorder(dev memdev.Device, limit int) (*Recorder, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("trace: nil device")
+	}
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{inner: dev, limit: limit}, nil
+}
+
+// Name implements memdev.Device.
+func (r *Recorder) Name() string { return r.inner.Name() + "+trace" }
+
+// Capacity implements memdev.Device.
+func (r *Recorder) Capacity() units.Size { return r.inner.Capacity() }
+
+// Persistent implements memdev.Device.
+func (r *Recorder) Persistent() bool { return r.inner.Persistent() }
+
+// Profile implements memdev.Device.
+func (r *Recorder) Profile() memdev.Profile { return r.inner.Profile() }
+
+// Stats implements memdev.Device.
+func (r *Recorder) Stats() *memdev.Stats { return r.inner.Stats() }
+
+// PowerCycle implements memdev.Device.
+func (r *Recorder) PowerCycle() { r.inner.PowerCycle() }
+
+func (r *Recorder) log(op Op, off int64, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.limit {
+		// Ring behaviour: drop the oldest half to keep recording.
+		copy(r.events, r.events[len(r.events)/2:])
+		r.events = r.events[:len(r.events)-len(r.events)/2]
+	}
+	r.events = append(r.events, Event{Seq: r.seq, Op: op, Off: off, Len: n})
+	r.seq++
+}
+
+// ReadAt implements memdev.Device, recording the access.
+func (r *Recorder) ReadAt(p []byte, off int64) error {
+	if err := r.inner.ReadAt(p, off); err != nil {
+		return err
+	}
+	r.log(OpRead, off, len(p))
+	return nil
+}
+
+// WriteAt implements memdev.Device, recording the access.
+func (r *Recorder) WriteAt(p []byte, off int64) error {
+	if err := r.inner.WriteAt(p, off); err != nil {
+		return err
+	}
+	r.log(OpWrite, off, len(p))
+	return nil
+}
+
+// Events returns a copy of the recorded stream.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset clears the stream.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// Analysis summarises a trace for placement decisions.
+type Analysis struct {
+	Events     int
+	Reads      int
+	Writes     int
+	BytesRead  int64
+	BytesWrite int64
+	// ReadFraction of the traffic mix (for perf.Mix).
+	ReadFraction float64
+	// UniquePages touched at the given page granule.
+	UniquePages int
+	// HottestPages lists up to N (page, accesses) pairs, hottest first.
+	HottestPages []PageHeat
+	// SequentialFraction of accesses whose offset immediately follows
+	// the previous access (streaming detection).
+	SequentialFraction float64
+}
+
+// PageHeat is one page's access count.
+type PageHeat struct {
+	Page     int64
+	Accesses int
+}
+
+// Analyze folds a trace at the given page granule, reporting the top N
+// hottest pages.
+func Analyze(events []Event, pageSize int64, topN int) (Analysis, error) {
+	if pageSize <= 0 {
+		return Analysis{}, fmt.Errorf("trace: page size must be positive")
+	}
+	var a Analysis
+	heat := map[int64]int{}
+	var lastEnd int64 = -1
+	sequential := 0
+	for _, e := range events {
+		a.Events++
+		switch e.Op {
+		case OpWrite:
+			a.Writes++
+			a.BytesWrite += int64(e.Len)
+		default:
+			a.Reads++
+			a.BytesRead += int64(e.Len)
+		}
+		for pg := e.Off / pageSize; pg <= (e.Off+int64(e.Len)-1)/pageSize; pg++ {
+			heat[pg]++
+		}
+		if e.Off == lastEnd {
+			sequential++
+		}
+		lastEnd = e.Off + int64(e.Len)
+	}
+	a.UniquePages = len(heat)
+	if total := a.BytesRead + a.BytesWrite; total > 0 {
+		a.ReadFraction = float64(a.BytesRead) / float64(total)
+	}
+	if a.Events > 1 {
+		a.SequentialFraction = float64(sequential) / float64(a.Events-1)
+	}
+	pages := make([]PageHeat, 0, len(heat))
+	for pg, n := range heat {
+		pages = append(pages, PageHeat{Page: pg, Accesses: n})
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].Accesses != pages[j].Accesses {
+			return pages[i].Accesses > pages[j].Accesses
+		}
+		return pages[i].Page < pages[j].Page
+	})
+	if topN > 0 && len(pages) > topN {
+		pages = pages[:topN]
+	}
+	a.HottestPages = pages
+	return a, nil
+}
+
+// Replay drives a recorded stream against another device, re-performing
+// every access (reads discard data, writes store a deterministic fill).
+// It returns the total bytes moved.
+func Replay(events []Event, dst memdev.Device) (int64, error) {
+	if dst == nil {
+		return 0, fmt.Errorf("trace: nil destination")
+	}
+	var moved int64
+	buf := make([]byte, 0, 4096)
+	for _, e := range events {
+		if cap(buf) < e.Len {
+			buf = make([]byte, e.Len)
+		}
+		b := buf[:e.Len]
+		switch e.Op {
+		case OpWrite:
+			for i := range b {
+				b[i] = byte(e.Seq)
+			}
+			if err := dst.WriteAt(b, e.Off); err != nil {
+				return moved, err
+			}
+		default:
+			if err := dst.ReadAt(b, e.Off); err != nil {
+				return moved, err
+			}
+		}
+		moved += int64(e.Len)
+	}
+	return moved, nil
+}

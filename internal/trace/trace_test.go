@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"testing"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+func device(t *testing.T) memdev.Device {
+	t.Helper()
+	d, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: "traced", Rate: 4800, Channels: 1, CapacityPerChannel: 16 * units.MiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func recorder(t *testing.T) *Recorder {
+	t.Helper()
+	r, err := NewRecorder(device(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecorderTransparency(t *testing.T) {
+	r := recorder(t)
+	in := []byte("traced payload")
+	if err := r.WriteAt(in, 4096); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := r.ReadAt(out, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(in) {
+		t.Error("data corrupted by recorder")
+	}
+	if r.Name() != "traced+trace" || r.Capacity() != 16*units.MiB || r.Persistent() {
+		t.Error("device attributes not forwarded")
+	}
+	if r.Profile().Kind != memdev.KindDRAM {
+		t.Error("profile not forwarded")
+	}
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Op != OpWrite || ev[1].Op != OpRead {
+		t.Fatalf("events = %v", ev)
+	}
+	if ev[0].Off != 4096 || ev[0].Len != len(in) || ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Errorf("event fields = %+v", ev[0])
+	}
+	// Failed accesses are not recorded.
+	if err := r.ReadAt(make([]byte, 8), -5); err == nil {
+		t.Fatal("bad access succeeded")
+	}
+	if len(r.Events()) != 2 {
+		t.Error("failed access recorded")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Error("op strings")
+	}
+	if _, err := NewRecorder(nil, 0); err == nil {
+		t.Error("nil device accepted")
+	}
+}
+
+func TestRecorderRingLimit(t *testing.T) {
+	r, err := NewRecorder(device(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	for i := 0; i < 20; i++ {
+		if err := r.WriteAt(buf, int64(i)*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := r.Events()
+	if len(ev) > 8 {
+		t.Errorf("events = %d, want <= 8", len(ev))
+	}
+	// The newest events survive.
+	last := ev[len(ev)-1]
+	if last.Off != 19*64 {
+		t.Errorf("newest event off = %d", last.Off)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	r := recorder(t)
+	buf := make([]byte, 64)
+	// Hot page 0: 10 accesses; page 5: 2; sequential run at the end.
+	for i := 0; i < 10; i++ {
+		if err := r.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.WriteAt(buf, 5*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteAt(buf, 5*4096+64); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(r.Events(), 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != 12 || a.Reads != 10 || a.Writes != 2 {
+		t.Errorf("counts = %+v", a)
+	}
+	if a.BytesRead != 640 || a.BytesWrite != 128 {
+		t.Errorf("bytes = %d/%d", a.BytesRead, a.BytesWrite)
+	}
+	if a.ReadFraction < 0.82 || a.ReadFraction > 0.84 {
+		t.Errorf("read fraction = %v", a.ReadFraction)
+	}
+	if a.UniquePages != 2 {
+		t.Errorf("unique pages = %d", a.UniquePages)
+	}
+	if len(a.HottestPages) != 2 || a.HottestPages[0].Page != 0 || a.HottestPages[0].Accesses != 10 {
+		t.Errorf("hottest = %v", a.HottestPages)
+	}
+	// One strictly sequential pair (the two writes), plus the repeated
+	// reads at offset 0 are not sequential.
+	if a.SequentialFraction <= 0 || a.SequentialFraction > 0.2 {
+		t.Errorf("sequential fraction = %v", a.SequentialFraction)
+	}
+	if _, err := Analyze(nil, 0, 1); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	r := recorder(t)
+	buf := make([]byte, 128)
+	for i := 0; i < 5; i++ {
+		if err := r.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ReadAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := device(t)
+	moved, err := Replay(r.Events(), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 10*128 {
+		t.Errorf("moved = %d", moved)
+	}
+	reads, writes, _, _ := dst.Stats().Snapshot()
+	if reads != 5 || writes != 5 {
+		t.Errorf("replayed ops = %d reads, %d writes", reads, writes)
+	}
+	if _, err := Replay(nil, nil); err == nil {
+		t.Error("nil destination accepted")
+	}
+	// Replay onto a too-small device fails cleanly.
+	small, err := memdev.NewDRAM(memdev.DRAMConfig{Name: "s", Rate: 1333, Channels: 1, CapacityPerChannel: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(r.Events(), small); err == nil {
+		t.Error("replay past capacity accepted")
+	}
+}
+
+func TestRecorderFeedsTieringDecisions(t *testing.T) {
+	// Integration: the recorder's analysis identifies the same hot
+	// pages a placement policy needs.
+	r := recorder(t)
+	buf := make([]byte, 64)
+	hot := int64(3)
+	for i := 0; i < 100; i++ {
+		if err := r.ReadAt(buf, hot*2048*1024); err != nil { // 2MiB pages
+			t.Fatal(err)
+		}
+	}
+	for pg := int64(0); pg < 8; pg++ {
+		if err := r.ReadAt(buf, pg*2048*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := Analyze(r.Events(), 2048*1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HottestPages[0].Page != hot {
+		t.Errorf("hottest page = %d, want %d", a.HottestPages[0].Page, hot)
+	}
+}

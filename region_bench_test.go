@@ -1,0 +1,40 @@
+package cxlpmem
+
+import (
+	"errors"
+	"sync"
+)
+
+// benchRegion is a persistent in-memory pmem region for root-level
+// benches and tests.
+type benchRegion struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func newBenchRegion(size int) *benchRegion {
+	return &benchRegion{data: make([]byte, size)}
+}
+
+func (r *benchRegion) ReadAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("benchRegion: out of range")
+	}
+	copy(p, r.data[off:])
+	return nil
+}
+
+func (r *benchRegion) WriteAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(r.data)) {
+		return errors.New("benchRegion: out of range")
+	}
+	copy(r.data[off:], p)
+	return nil
+}
+
+func (r *benchRegion) Size() int64      { return int64(len(r.data)) }
+func (r *benchRegion) Persistent() bool { return true }

@@ -336,6 +336,89 @@ func BenchmarkCXLPortLine(b *testing.B) {
 	}
 }
 
+// BenchmarkCXLPortBurst measures the burst data path: 4 KiB moved per
+// WriteBurst/ReadBurst pair under one header flit each, every data beat
+// still crossing the modelled wire (encode, CRC, decode). The per-line
+// baseline above needs 64 full codec round trips for the same bytes.
+func BenchmarkCXLPortBurst(b *testing.B) {
+	card, err := fpga.New(fpga.Options{ChannelCapacity: 8 * units.MiB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp := cxl.NewRootPort("rp", card.Link())
+	if err := rp.Attach(card); err != nil {
+		b.Fatal(err)
+	}
+	h, err := cxl.Enumerate(0, rp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := h.Windows[0].Base
+	const burst = cxl.MaxBurstLines * cxl.LineSize // 4 KiB
+	buf := make([]byte, burst)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	// Pre-touch the window so steady state measures the wire, not
+	// first-touch page materialisation in the sparse media store.
+	if err := rp.WriteBurst(base, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * int64(burst)) // one write + one read per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := base + uint64(i%256)*uint64(burst) // cycle through a 1 MiB window
+		if err := rp.WriteBurst(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := rp.ReadBurst(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolOpen measures pmemobj_open over the CXL mount: header
+// validation, undo-log recovery and the full view load, all through the
+// root port's burst path (one media scan — see pmem.Open).
+func BenchmarkPoolOpen(b *testing.B) {
+	rt, err := NewSetup1(Setup1Options{FPGA: fpga.Options{ChannelCapacity: 8 * units.MiB}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, ok := rt.CXLNode()
+	if !ok {
+		b.Fatal("no CXL node")
+	}
+	const size = 8 << 20
+	p, err := rt.CreatePool(n.ID, "bench-open", "bench", size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oid, err := p.Alloc(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Persist(oid, 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := rt.OpenPool(n.ID, "bench-open", "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 // BenchmarkStreamTriadReal runs the real Triad kernel over host memory
 // — the data-movement cost of the instrument itself.
 func BenchmarkStreamTriadReal(b *testing.B) {

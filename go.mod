@@ -1,0 +1,3 @@
+module cxlpmem
+
+go 1.24

@@ -8,6 +8,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -199,7 +200,7 @@ func (m *Manager) Save(id uint64, prev uint64, data []byte) error {
 		if c < len(prevChunks) && prevChunks[c].crc == crc {
 			// Verify content equality, not just CRC, before reuse.
 			pb, err := m.pool.View(pmem.OID{PoolID: m.pool.PoolID(), Off: prevChunks[c].off}, uint64(hi-lo))
-			if err == nil && bytesEqual(pb, data[lo:hi]) {
+			if err == nil && bytes.Equal(pb, data[lo:hi]) {
 				refs[c] = prevChunks[c]
 				reused++
 				continue
@@ -414,15 +415,3 @@ func (m *Manager) Slots() int { return m.slots }
 // LastReused reports how many chunks the most recent Save deduplicated
 // against its base snapshot.
 func (m *Manager) LastReused() int { return m.lastReused }
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}

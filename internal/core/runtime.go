@@ -109,7 +109,11 @@ func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
 }
 
 // windowAccessor adapts a CXL root port + HPA window base to the pmemfs
-// accessor shape.
+// accessor shape. Bulk transfers vectorise inside the port: line-aligned
+// interiors move as multi-line CXL.mem bursts (one codec header per
+// MaxBurstLines lines), so pool view loads, persists and checkpoint
+// chunk flushes cost O(bytes) on the wire instead of O(lines × codec
+// round trips).
 type windowAccessor struct {
 	port *cxl.RootPort
 	base int64

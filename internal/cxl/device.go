@@ -39,13 +39,29 @@ type Endpoint interface {
 	HandleMem(MemReq) MemResp
 }
 
-// MemStats counts CXL.mem transactions at an endpoint.
+// BurstHandler is implemented by endpoints that service multi-line burst
+// requests (OpMemRdBurst/OpMemWrBurst) natively: one HDM media access
+// for the whole burst instead of one per line. payload holds
+// req.Lines×LineSize bytes — the data to store for a write burst, the
+// buffer the device fills for a read burst. Ports fall back to per-line
+// HandleMem calls for endpoints that do not implement it.
+type BurstHandler interface {
+	HandleMemBurst(req MemReq, payload []byte) MemResp
+}
+
+// MemStats counts CXL.mem transactions at an endpoint. Reads/Writes
+// count single-line requests; bursts are counted separately (one
+// ReadBursts/WriteBursts increment per burst header, with BurstLines
+// accumulating the data-flit total).
 type MemStats struct {
 	Reads         atomic.Int64
 	Writes        atomic.Int64
 	PartialWrites atomic.Int64
 	Invalidates   atomic.Int64
 	Errors        atomic.Int64
+	ReadBursts    atomic.Int64
+	WriteBursts   atomic.Int64
+	BurstLines    atomic.Int64
 }
 
 // Type3Device is a CXL memory-expansion endpoint backed by a media
@@ -56,9 +72,35 @@ type Type3Device struct {
 	cfg   ConfigSpace
 	stats MemStats
 
-	mu       sync.RWMutex
-	decoders []*HDMDecoder
-	poisoned func(dpa uint64) bool
+	mu           sync.RWMutex
+	decoders     []*HDMDecoder
+	poisoned     func(dpa uint64) bool
+	poisonedSpan func(dpa, n uint64) bool
+	// snap caches an immutable copy of the decoder list and RAS hook:
+	// HandleMem runs on every line transaction and must not pay a
+	// read-lock round trip for configuration that changes only at
+	// enumeration time.
+	snap atomic.Pointer[deviceSnapshot]
+}
+
+// deviceSnapshot is the immutable hot-path view of the device config.
+type deviceSnapshot struct {
+	decoders     []*HDMDecoder
+	poisoned     func(dpa uint64) bool
+	poisonedSpan func(dpa, n uint64) bool
+}
+
+// publish refreshes the hot-path snapshot; callers hold d.mu.
+func (d *Type3Device) publish() {
+	d.snap.Store(&deviceSnapshot{decoders: d.decoders, poisoned: d.poisoned, poisonedSpan: d.poisonedSpan})
+}
+
+// snapshot returns the current hot-path view, which may be empty.
+func (d *Type3Device) snapshot() *deviceSnapshot {
+	if s := d.snap.Load(); s != nil {
+		return s
+	}
+	return &deviceSnapshot{}
 }
 
 // NewType3 builds a memory-expansion endpoint over the given media. The
@@ -106,6 +148,7 @@ func (d *Type3Device) ProgramDecoder(dec *HDMDecoder) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.decoders = append(d.decoders, dec)
+	d.publish()
 	return nil
 }
 
@@ -120,9 +163,7 @@ func (d *Type3Device) Decoders() []*HDMDecoder {
 
 // decode finds the decoder owning hpa.
 func (d *Type3Device) decode(hpa uint64) (uint64, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for _, dec := range d.decoders {
+	for _, dec := range d.snapshot().decoders {
 		if dpa, ok := dec.Decode(hpa); ok {
 			return dpa, true
 		}
@@ -130,17 +171,55 @@ func (d *Type3Device) decode(hpa uint64) (uint64, bool) {
 	return 0, false
 }
 
+// lookup resolves hpa and fetches the RAS hook from the lock-free
+// snapshot — the per-transaction fast path.
+func (d *Type3Device) lookup(hpa uint64) (dpa uint64, poisoned func(uint64) bool, ok bool) {
+	s := d.snapshot()
+	for _, dec := range s.decoders {
+		if dpa, ok = dec.Decode(hpa); ok {
+			poisoned = s.poisoned
+			break
+		}
+	}
+	return
+}
+
+// decodeSpan resolves a [hpa, hpa+n) span that maps contiguously through
+// one decoder, fetching the RAS hook from the same snapshot. The
+// decoder is chosen exactly as per-line decode() would choose it (first
+// match in programming order), so burst and line transactions always
+// agree on the target DPA; ok is false when that decoder is interleaved
+// or the span crosses its window end — callers fall back to per-line
+// decode.
+func (d *Type3Device) decodeSpan(hpa, n uint64) (dpa uint64, s *deviceSnapshot, ok bool) {
+	s = d.snapshot()
+	for _, dec := range s.decoders {
+		if candidate, hit := dec.Decode(hpa); hit {
+			if dec.InterleaveWays <= 1 && hpa+n <= dec.Base+dec.Size {
+				dpa, ok = candidate, true
+			}
+			return
+		}
+	}
+	return
+}
+
+// linePool recycles line staging buffers so HandleMem can call the media
+// interface without forcing its request/response to escape to the heap —
+// the single-line data path is allocation-free in steady state.
+var linePool = sync.Pool{New: func() any { return new([LineSize]byte) }}
+
 // HandleMem implements the CXL.mem transaction layer for a Type-3
 // endpoint: it turns M2S requests into HDM accesses against the media.
 func (d *Type3Device) HandleMem(req MemReq) MemResp {
 	resp := MemResp{Tag: req.Tag}
-	dpa, ok := d.decode(req.Addr)
+	dpa, poisoned, ok := d.lookup(req.Addr)
 	if !ok {
 		d.stats.Errors.Add(1)
 		resp.Opcode = RespErr
 		return resp
 	}
-	if d.poisonCheck(dpa) {
+	if poisoned != nil && poisoned(dpa) {
 		// Poisoned line: real CXL returns the data with poison
 		// signalling; we surface it as an error response the host
 		// must handle (RAS path).
@@ -150,25 +229,37 @@ func (d *Type3Device) HandleMem(req MemReq) MemResp {
 	}
 	switch req.Opcode {
 	case OpMemRd:
-		if err := d.media.ReadAt(resp.Data[:], int64(dpa)); err != nil {
+		// The line stages through a pooled buffer rather than
+		// resp.Data directly: handing resp.Data[:] to the media
+		// interface would force resp onto the heap.
+		line := linePool.Get().(*[LineSize]byte)
+		if err := d.media.ReadAt(line[:], int64(dpa)); err != nil {
+			linePool.Put(line)
 			d.stats.Errors.Add(1)
 			resp.Opcode = RespErr
 			return resp
 		}
+		resp.Data = *line
+		linePool.Put(line)
 		d.stats.Reads.Add(1)
 		resp.Opcode = RespMemData
 	case OpMemWr:
-		if err := d.media.WriteAt(req.Data[:], int64(dpa)); err != nil {
+		line := linePool.Get().(*[LineSize]byte)
+		*line = req.Data
+		if err := d.media.WriteAt(line[:], int64(dpa)); err != nil {
+			linePool.Put(line)
 			d.stats.Errors.Add(1)
 			resp.Opcode = RespErr
 			return resp
 		}
+		linePool.Put(line)
 		d.stats.Writes.Add(1)
 		resp.Opcode = RespCmp
 	case OpMemWrPtl:
 		// Read-modify-write under the byte mask.
-		var line [LineSize]byte
+		line := linePool.Get().(*[LineSize]byte)
 		if err := d.media.ReadAt(line[:], int64(dpa)); err != nil {
+			linePool.Put(line)
 			d.stats.Errors.Add(1)
 			resp.Opcode = RespErr
 			return resp
@@ -179,18 +270,120 @@ func (d *Type3Device) HandleMem(req MemReq) MemResp {
 			}
 		}
 		if err := d.media.WriteAt(line[:], int64(dpa)); err != nil {
+			linePool.Put(line)
 			d.stats.Errors.Add(1)
 			resp.Opcode = RespErr
 			return resp
 		}
+		linePool.Put(line)
 		d.stats.PartialWrites.Add(1)
 		resp.Opcode = RespCmp
 	case OpMemInv:
 		d.stats.Invalidates.Add(1)
 		resp.Opcode = RespCmp
 	default:
+		// Burst opcodes carry their payload in dedicated data flits and
+		// must arrive through HandleMemBurst; seeing one here is a
+		// protocol error, as is any unknown opcode.
 		d.stats.Errors.Add(1)
 		resp.Opcode = RespErr
+	}
+	return resp
+}
+
+// HandleMemBurst implements BurstHandler: it services a multi-line burst
+// with a single media access when the span maps contiguously through one
+// HDM decoder, falling back to per-line accesses across window or
+// interleave boundaries. Poison (RAS) checks still run per line, and a
+// burst touching any poisoned or unmapped line fails whole — no partial
+// effects reach the media.
+func (d *Type3Device) HandleMemBurst(req MemReq, payload []byte) MemResp {
+	resp := MemResp{Tag: req.Tag}
+	lines := int(req.Lines)
+	if req.Opcode != OpMemRdBurst && req.Opcode != OpMemWrBurst ||
+		lines < 1 || lines > MaxBurstLines ||
+		len(payload) != lines*LineSize || !lineAligned(req.Addr) {
+		d.stats.Errors.Add(1)
+		resp.Opcode = RespErr
+		return resp
+	}
+	span := uint64(len(payload))
+	dpa, snap, contiguous := d.decodeSpan(req.Addr, span)
+	poisoned := snap.poisoned
+
+	// RAS check. On the contiguous fast path a span-granular checker
+	// (the mailbox's — one atomic load while the poison list is empty)
+	// covers the whole burst; otherwise the per-line hook runs per
+	// line, same as single-line transactions.
+	if contiguous && snap.poisonedSpan != nil {
+		if snap.poisonedSpan(dpa, span) {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+		poisoned = nil
+	}
+
+	// Validate every line before touching the media — decode (when the
+	// span is not contiguous) and poison — so a failing burst has no
+	// partial effects. Line DPAs are kept on the stack for the access
+	// loop; the fast path never fills them.
+	var lineDPAs [MaxBurstLines]uint64
+	if !contiguous || poisoned != nil {
+		for i := 0; i < lines; i++ {
+			lineDPA := dpa + uint64(i*LineSize)
+			if !contiguous {
+				var ok bool
+				if lineDPA, ok = d.decode(req.Addr + uint64(i*LineSize)); !ok {
+					d.stats.Errors.Add(1)
+					resp.Opcode = RespErr
+					return resp
+				}
+				lineDPAs[i] = lineDPA
+			}
+			if poisoned != nil && poisoned(lineDPA) {
+				d.stats.Errors.Add(1)
+				resp.Opcode = RespErr
+				return resp
+			}
+		}
+	}
+
+	if contiguous {
+		var err error
+		if req.Opcode == OpMemRdBurst {
+			err = d.media.ReadAt(payload, int64(dpa))
+		} else {
+			err = d.media.WriteAt(payload, int64(dpa))
+		}
+		if err != nil {
+			d.stats.Errors.Add(1)
+			resp.Opcode = RespErr
+			return resp
+		}
+	} else {
+		for i := 0; i < lines; i++ {
+			line := payload[i*LineSize : (i+1)*LineSize]
+			var err error
+			if req.Opcode == OpMemRdBurst {
+				err = d.media.ReadAt(line, int64(lineDPAs[i]))
+			} else {
+				err = d.media.WriteAt(line, int64(lineDPAs[i]))
+			}
+			if err != nil {
+				d.stats.Errors.Add(1)
+				resp.Opcode = RespErr
+				return resp
+			}
+		}
+	}
+	d.stats.BurstLines.Add(int64(lines))
+	if req.Opcode == OpMemRdBurst {
+		d.stats.ReadBursts.Add(1)
+		resp.Opcode = RespMemData
+	} else {
+		d.stats.WriteBursts.Add(1)
+		resp.Opcode = RespCmp
 	}
 	return resp
 }
@@ -201,13 +394,24 @@ func (d *Type3Device) SetPoisonChecker(f func(dpa uint64) bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.poisoned = f
+	// The span checker is a companion of the per-line hook it was
+	// installed with; a new per-line hook invalidates it, otherwise a
+	// contiguous burst would consult the stale span hook and skip the
+	// new checker entirely. Callers wanting the fast path back install
+	// a matching span checker after this call.
+	d.poisonedSpan = nil
+	d.publish()
 }
 
-func (d *Type3Device) poisonCheck(dpa uint64) bool {
-	d.mu.RLock()
-	f := d.poisoned
-	d.mu.RUnlock()
-	return f != nil && f(dpa)
+// SetPoisonSpanChecker installs an optional span-granular companion to
+// the per-line RAS hook: it must report whether any line of
+// [dpa, dpa+n) is poisoned. Burst transactions over a contiguous span
+// consult it once instead of calling the per-line hook per line.
+func (d *Type3Device) SetPoisonSpanChecker(f func(dpa, n uint64) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.poisonedSpan = f
+	d.publish()
 }
 
 func (d *Type3Device) String() string {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Memory-device command interface (mailbox). CXL 2.0 Type-3 devices
@@ -103,6 +104,9 @@ type Mailbox struct {
 	mu     sync.Mutex
 	poison map[uint64]bool // line-aligned DPAs
 	fwRev  string
+	// npoison mirrors len(poison) so IsPoisoned — which runs on every
+	// HDM access — can skip the lock while the list is empty.
+	npoison atomic.Int64
 }
 
 // poisonListMax bounds the tracked poison list, as real devices do.
@@ -118,6 +122,7 @@ func NewMailbox(dev *Type3Device, firmwareRev string) (*Mailbox, error) {
 	}
 	m := &Mailbox{dev: dev, poison: make(map[uint64]bool), fwRev: firmwareRev}
 	dev.SetPoisonChecker(m.IsPoisoned)
+	dev.SetPoisonSpanChecker(m.HasPoisonIn)
 	return m, nil
 }
 
@@ -151,6 +156,7 @@ func (m *Mailbox) Execute(op MailboxOpcode, in []byte) (out []byte, status Mailb
 		} else {
 			delete(m.poison, dpa)
 		}
+		m.npoison.Store(int64(len(m.poison)))
 		return nil, MboxSuccess
 	case OpSanitize:
 		// Sanitize wipes the media regardless of battery: an explicit
@@ -159,6 +165,7 @@ func (m *Mailbox) Execute(op MailboxOpcode, in []byte) (out []byte, status Mailb
 			return nil, MboxInternalError
 		}
 		m.poison = make(map[uint64]bool)
+		m.npoison.Store(0)
 		return nil, MboxSuccess
 	default:
 		return nil, MboxUnsupported
@@ -249,8 +256,30 @@ func (m *Mailbox) sanitize() error {
 	return nil
 }
 
+// HasPoisonIn reports whether any line of [dpa, dpa+n) is on the
+// poison list — the span-granular RAS hook burst transactions consult.
+// The empty-list fast path is a single lock-free load.
+func (m *Mailbox) HasPoisonIn(dpa, n uint64) bool {
+	if m.npoison.Load() == 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for line := dpa &^ uint64(LineSize-1); line < dpa+n; line += uint64(LineSize) {
+		if m.poison[line] {
+			return true
+		}
+	}
+	return false
+}
+
 // IsPoisoned reports whether a line-aligned DPA is on the poison list.
+// The empty-list fast path is lock-free: this hook runs on every HDM
+// access the device services.
 func (m *Mailbox) IsPoisoned(dpa uint64) bool {
+	if m.npoison.Load() == 0 {
+		return false
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.poison[dpa&^uint64(LineSize-1)]

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cxlpmem/internal/interconnect"
@@ -28,7 +29,7 @@ func (s LinkState) String() string {
 // It owns the physical link, performs link training against an attached
 // endpoint, and carries CXL.mem traffic to it. Every request/response
 // genuinely round-trips through the flit codec so protocol tests observe
-// real wire behaviour.
+// real wire behaviour; the steady-state data path allocates nothing.
 type RootPort struct {
 	name string
 	link *interconnect.Link
@@ -51,6 +52,13 @@ type RootPort struct {
 // maxLinkRetries bounds retransmission before the port reports an
 // uncorrectable link error.
 const maxLinkRetries = 3
+
+// maxBurstBytes is the payload of a maximal burst (4 KiB).
+const maxBurstBytes = MaxBurstLines * LineSize
+
+// burstBufPool recycles burst staging buffers (the receive side of the
+// modelled wire) so the bulk path stays allocation-free in steady state.
+var burstBufPool = sync.Pool{New: func() any { return new([maxBurstBytes]byte) }}
 
 // Retries reports how many link-level retransmissions occurred.
 func (rp *RootPort) Retries() int64 { return rp.retries.Load() }
@@ -112,59 +120,37 @@ func (e *PortError) Error() string {
 	return fmt.Sprintf("cxl: %s: %s @%#x: %s", e.Port, e.Op, e.Addr, e.Why)
 }
 
+// moveFlit pushes one already-encoded flit through the modelled wire:
+// fault injection and tracing. The receiver's CRC check happens at
+// decode; the caller owns the retry loop.
+func (rp *RootPort) moveFlit(f *Flit) {
+	if rp.Fault != nil {
+		*f = rp.Fault(*f)
+	}
+	if rp.FlitTrace != nil {
+		rp.FlitTrace(*f)
+	}
+}
+
 // transact moves one request through the flit codec to the endpoint and
-// decodes the response.
-func (rp *RootPort) transact(req MemReq) (MemResp, error) {
+// decodes the response: one protected request flit out (sendHeader),
+// the endpoint's HandleMem, one protected response flit back
+// (recvResp, which also enforces tag matching). The fast path performs
+// zero heap allocations: flits live on the stack and decode happens in
+// place.
+func (rp *RootPort) transact(req *MemReq) (MemResp, error) {
 	if rp.state != LinkUp || rp.endpoint == nil {
 		return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "link down"}
 	}
 	req.Tag = uint16(rp.tag.Add(1))
-
-	// Request direction with link-level retry: a flit corrupted in
-	// flight fails its CRC at the receiver, which NAKs; the sender
-	// retransmits from its retry buffer.
 	var decoded MemReq
-	var err error
-	for attempt := 0; ; attempt++ {
-		f := EncodeReq(req)
-		if rp.Fault != nil {
-			f = rp.Fault(f)
-		}
-		if rp.FlitTrace != nil {
-			rp.FlitTrace(f)
-		}
-		decoded, err = DecodeReq(f)
-		if err == nil {
-			break
-		}
-		if attempt >= maxLinkRetries {
-			return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
-		}
-		rp.retries.Add(1)
+	if err := rp.sendHeader(req, &decoded); err != nil {
+		return MemResp{}, err
 	}
 	resp := rp.endpoint.HandleMem(decoded)
-
-	// Response direction, same protection.
 	var out MemResp
-	for attempt := 0; ; attempt++ {
-		rf := EncodeResp(resp)
-		if rp.Fault != nil {
-			rf = rp.Fault(rf)
-		}
-		if rp.FlitTrace != nil {
-			rp.FlitTrace(rf)
-		}
-		out, err = DecodeResp(rf)
-		if err == nil {
-			break
-		}
-		if attempt >= maxLinkRetries {
-			return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
-		}
-		rp.retries.Add(1)
-	}
-	if out.Tag != req.Tag {
-		return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", req.Tag, out.Tag)}
+	if err := rp.recvResp(req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
+		return MemResp{}, err
 	}
 	return out, nil
 }
@@ -174,7 +160,8 @@ func (rp *RootPort) ReadLine(hpa uint64, out *[LineSize]byte) error {
 	if !lineAligned(hpa) {
 		return &PortError{Port: rp.name, Op: "MemRd", Addr: hpa, Why: "unaligned"}
 	}
-	resp, err := rp.transact(MemReq{Opcode: OpMemRd, Addr: hpa})
+	req := MemReq{Opcode: OpMemRd, Addr: hpa}
+	resp, err := rp.transact(&req)
 	if err != nil {
 		return err
 	}
@@ -190,7 +177,8 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 	if !lineAligned(hpa) {
 		return &PortError{Port: rp.name, Op: "MemWr", Addr: hpa, Why: "unaligned"}
 	}
-	resp, err := rp.transact(MemReq{Opcode: OpMemWr, Addr: hpa, Data: *data})
+	req := MemReq{Opcode: OpMemWr, Addr: hpa, Data: *data}
+	resp, err := rp.transact(&req)
 	if err != nil {
 		return err
 	}
@@ -200,64 +188,331 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 	return nil
 }
 
-// ReadAt copies len(p) bytes from HPA off, chunking into line requests.
-// Unaligned heads/tails are handled with full-line reads.
-func (rp *RootPort) ReadAt(p []byte, off int64) error {
-	hpa := uint64(off)
-	for len(p) > 0 {
-		base := hpa &^ uint64(LineSize-1)
-		lo := int(hpa - base)
-		n := LineSize - lo
-		if n > len(p) {
-			n = len(p)
+// --- Burst transactions --------------------------------------------------
+//
+// A burst moves up to MaxBurstLines cache lines under one header flit,
+// mirroring CXL's all-data-flit streaming: header, N data beats, one
+// completion. Every beat still crosses the modelled wire individually —
+// fault injection, tracing and CRC/retry fire per flit — but the
+// endpoint services the whole burst with a single HDM access, so bulk
+// transfers cost O(bytes) instead of O(lines × codec round trips).
+
+// sendHeader pushes one request flit (line transaction or burst
+// header) over the wire with link-level retry — a flit corrupted in
+// flight fails its CRC at the receiver, which NAKs, and the sender
+// retransmits from its retry buffer — and returns the decoded form the
+// device sees.
+func (rp *RootPort) sendHeader(req *MemReq, decoded *MemReq) error {
+	var f Flit
+	var err error
+	for attempt := 0; ; attempt++ {
+		EncodeReqInto(&f, req)
+		rp.moveFlit(&f)
+		if err = DecodeReqInto(decoded, &f); err == nil {
+			return nil
 		}
-		var line [LineSize]byte
-		if err := rp.ReadLine(base, &line); err != nil {
+		if attempt >= maxLinkRetries {
+			return &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
+		}
+		rp.retries.Add(1)
+	}
+}
+
+// moveData pushes one burst data beat (src line seq) over the wire with
+// retry and lands it in dst. f is caller-owned scratch, reused across
+// the beats of a burst so the wire loop does not re-zero a flit per
+// line.
+func (rp *RootPort) moveData(f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
+	for attempt := 0; ; attempt++ {
+		EncodeDataInto(f, tag, seq, src)
+		rp.moveFlit(f)
+		gotTag, gotSeq, err := DecodeDataInto(dst, f)
+		if err == nil {
+			if gotTag != tag || gotSeq != seq {
+				return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("data flit tag/seq mismatch: sent %d/%d got %d/%d", tag, seq, gotTag, gotSeq)}
+			}
+			return nil
+		}
+		if attempt >= maxLinkRetries {
+			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error on data flit: " + err.Error()}
+		}
+		rp.retries.Add(1)
+	}
+}
+
+// recvResp pushes one completion/response flit back over the wire with
+// the same retry protection and enforces tag matching.
+func (rp *RootPort) recvResp(op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
+	var f Flit
+	var err error
+	for attempt := 0; ; attempt++ {
+		EncodeRespInto(&f, resp)
+		rp.moveFlit(&f)
+		if err = DecodeRespInto(out, &f); err == nil {
+			break
+		}
+		if attempt >= maxLinkRetries {
+			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error: " + err.Error()}
+		}
+		rp.retries.Add(1)
+	}
+	if out.Tag != tag {
+		return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag)}
+	}
+	return nil
+}
+
+// handleBurst dispatches a decoded burst to the endpoint: natively when
+// it implements BurstHandler, otherwise line by line through HandleMem.
+// The fallback preserves the native path's no-partial-effects contract:
+// a write burst first probes every target line with MemRd (validating
+// decode and poison) and only then writes, so a burst failing on any
+// line leaves the media untouched either way.
+func (rp *RootPort) handleBurst(req MemReq, payload []byte) MemResp {
+	if bh, ok := rp.endpoint.(BurstHandler); ok {
+		return bh.HandleMemBurst(req, payload)
+	}
+	lines := int(req.Lines)
+	if req.Opcode == OpMemWrBurst {
+		for i := 0; i < lines; i++ {
+			probe := MemReq{Opcode: OpMemRd, Tag: req.Tag, Addr: req.Addr + uint64(i*LineSize)}
+			if resp := rp.endpoint.HandleMem(probe); resp.Opcode != RespMemData {
+				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
+			}
+		}
+	}
+	for i := 0; i < lines; i++ {
+		var lr MemReq
+		lr.Tag = req.Tag
+		lr.Addr = req.Addr + uint64(i*LineSize)
+		if req.Opcode == OpMemWrBurst {
+			lr.Opcode = OpMemWr
+			copy(lr.Data[:], payload[i*LineSize:(i+1)*LineSize])
+			if resp := rp.endpoint.HandleMem(lr); resp.Opcode != RespCmp {
+				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
+			}
+		} else {
+			lr.Opcode = OpMemRd
+			resp := rp.endpoint.HandleMem(lr)
+			if resp.Opcode != RespMemData {
+				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
+			}
+			copy(payload[i*LineSize:(i+1)*LineSize], resp.Data[:])
+		}
+	}
+	if req.Opcode == OpMemWrBurst {
+		return MemResp{Tag: req.Tag, Opcode: RespCmp}
+	}
+	return MemResp{Tag: req.Tag, Opcode: RespMemData}
+}
+
+// WriteBurst stores p at the line-aligned HPA hpa using burst
+// transactions; len(p) must be a multiple of LineSize.
+func (rp *RootPort) WriteBurst(hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "unaligned burst"}
+	}
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxBurstBytes {
+			n = maxBurstBytes
+		}
+		if err := rp.writeBurstChunk(hpa, p[:n]); err != nil {
 			return err
 		}
-		copy(p[:n], line[lo:lo+n])
 		p = p[n:]
 		hpa += uint64(n)
 	}
 	return nil
 }
 
-// WriteAt stores p at HPA off. Full interior lines use MemWr; unaligned
-// head/tail lines use MemWrPtl with a byte mask, exactly as a write-
-// combining host interface would.
-func (rp *RootPort) WriteAt(p []byte, off int64) error {
-	hpa := uint64(off)
+func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
+	if rp.state != LinkUp || rp.endpoint == nil {
+		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "link down"}
+	}
+	lines := len(p) / LineSize
+	req := MemReq{Opcode: OpMemWrBurst, Addr: hpa, Lines: uint16(lines), Tag: uint16(rp.tag.Add(1))}
+	var decoded MemReq
+	if err := rp.sendHeader(&req, &decoded); err != nil {
+		return err
+	}
+	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
+	var f Flit
+	for i := 0; i < lines; i++ {
+		src := (*[LineSize]byte)(p[i*LineSize:])
+		dst := (*[LineSize]byte)(buf[i*LineSize:])
+		if err := rp.moveData(&f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+			burstBufPool.Put(buf)
+			return err
+		}
+	}
+	resp := rp.handleBurst(decoded, buf[:len(p)])
+	burstBufPool.Put(buf)
+	var out MemResp
+	if err := rp.recvResp(OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
+		return err
+	}
+	if out.Opcode != RespCmp {
+		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "response " + out.Opcode.String()}
+	}
+	return nil
+}
+
+// ReadBurst fetches len(p) bytes from the line-aligned HPA hpa using
+// burst transactions; len(p) must be a multiple of LineSize.
+func (rp *RootPort) ReadBurst(hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "unaligned burst"}
+	}
 	for len(p) > 0 {
-		base := hpa &^ uint64(LineSize-1)
-		lo := int(hpa - base)
+		n := len(p)
+		if n > maxBurstBytes {
+			n = maxBurstBytes
+		}
+		if err := rp.readBurstChunk(hpa, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	return nil
+}
+
+func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
+	if rp.state != LinkUp || rp.endpoint == nil {
+		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "link down"}
+	}
+	lines := len(p) / LineSize
+	req := MemReq{Opcode: OpMemRdBurst, Addr: hpa, Lines: uint16(lines), Tag: uint16(rp.tag.Add(1))}
+	var decoded MemReq
+	if err := rp.sendHeader(&req, &decoded); err != nil {
+		return err
+	}
+	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
+	resp := rp.handleBurst(decoded, buf[:len(p)])
+	var out MemResp
+	if err := rp.recvResp(OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
+		burstBufPool.Put(buf)
+		return err
+	}
+	if out.Opcode != RespMemData {
+		burstBufPool.Put(buf)
+		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "response " + out.Opcode.String()}
+	}
+	var f Flit
+	for i := 0; i < lines; i++ {
+		src := (*[LineSize]byte)(buf[i*LineSize:])
+		dst := (*[LineSize]byte)(p[i*LineSize:])
+		if err := rp.moveData(&f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+			burstBufPool.Put(buf)
+			return err
+		}
+	}
+	burstBufPool.Put(buf)
+	return nil
+}
+
+// ReadAt copies len(p) bytes from HPA off. Unaligned heads/tails are
+// handled with full-line reads; the line-aligned interior streams
+// through the burst path, so bulk transfers cost O(bytes) instead of
+// O(lines × codec round trips).
+func (rp *RootPort) ReadAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	// Unaligned head: one full-line read, copy the covered part.
+	if lo := int(hpa % uint64(LineSize)); lo != 0 {
 		n := LineSize - lo
 		if n > len(p) {
 			n = len(p)
 		}
-		if lo == 0 && n == LineSize {
+		var line [LineSize]byte
+		if err := rp.ReadLine(hpa-uint64(lo), &line); err != nil {
+			return err
+		}
+		copy(p[:n], line[lo:lo+n])
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	// Line-aligned interior: burst.
+	if n := len(p) &^ (LineSize - 1); n > 0 {
+		if n == LineSize {
 			var line [LineSize]byte
-			copy(line[:], p[:LineSize])
-			if err := rp.WriteLine(base, &line); err != nil {
+			if err := rp.ReadLine(hpa, &line); err != nil {
 				return err
 			}
-		} else {
-			var req MemReq
-			req.Opcode = OpMemWrPtl
-			req.Addr = base
-			copy(req.Data[lo:lo+n], p[:n])
-			for i := lo; i < lo+n; i++ {
-				req.Mask |= 1 << uint(i)
-			}
-			resp, err := rp.transact(req)
-			if err != nil {
-				return err
-			}
-			if resp.Opcode != RespCmp {
-				return &PortError{Port: rp.name, Op: "MemWrPtl", Addr: base, Why: "response " + resp.Opcode.String()}
-			}
+			copy(p[:LineSize], line[:])
+		} else if err := rp.ReadBurst(hpa, p[:n]); err != nil {
+			return err
 		}
 		p = p[n:]
 		hpa += uint64(n)
+	}
+	// Partial tail.
+	if len(p) > 0 {
+		var line [LineSize]byte
+		if err := rp.ReadLine(hpa, &line); err != nil {
+			return err
+		}
+		copy(p, line[:len(p)])
+	}
+	return nil
+}
+
+// writePartial issues one MemWrPtl for the sub-line [lo, lo+n) of the
+// line at base.
+func (rp *RootPort) writePartial(base uint64, lo int, p []byte) error {
+	var req MemReq
+	req.Opcode = OpMemWrPtl
+	req.Addr = base
+	copy(req.Data[lo:lo+len(p)], p)
+	for i := lo; i < lo+len(p); i++ {
+		req.Mask |= 1 << uint(i)
+	}
+	resp, err := rp.transact(&req)
+	if err != nil {
+		return err
+	}
+	if resp.Opcode != RespCmp {
+		return &PortError{Port: rp.name, Op: "MemWrPtl", Addr: base, Why: "response " + resp.Opcode.String()}
+	}
+	return nil
+}
+
+// WriteAt stores p at HPA off. Full interior lines stream through the
+// burst path; unaligned head/tail lines use MemWrPtl with a byte mask,
+// exactly as a write-combining host interface would.
+func (rp *RootPort) WriteAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	// Unaligned head: partial write under a mask.
+	if lo := int(hpa % uint64(LineSize)); lo != 0 {
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := rp.writePartial(hpa-uint64(lo), lo, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	// Line-aligned interior: burst.
+	if n := len(p) &^ (LineSize - 1); n > 0 {
+		if n == LineSize {
+			var line [LineSize]byte
+			copy(line[:], p[:LineSize])
+			if err := rp.WriteLine(hpa, &line); err != nil {
+				return err
+			}
+		} else if err := rp.WriteBurst(hpa, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	// Partial tail.
+	if len(p) > 0 {
+		if err := rp.writePartial(hpa, 0, p); err != nil {
+			return err
+		}
 	}
 	return nil
 }

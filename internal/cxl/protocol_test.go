@@ -85,10 +85,10 @@ func TestDecodeKindMismatch(t *testing.T) {
 	}
 }
 
-func TestDecodeTruncatedFlit(t *testing.T) {
-	if _, err := DecodeReq(Flit{raw: make([]byte, 10)}); err == nil {
-		t.Error("truncated flit accepted")
-	}
+func TestDecodeZeroFlit(t *testing.T) {
+	// A never-encoded (all-zero) flit carries no valid checksum and must
+	// be rejected, the value-type analogue of the old truncated-flit
+	// case.
 	var e *ErrFlit
 	_, err := DecodeReq(Flit{})
 	if err == nil {
@@ -98,6 +98,9 @@ func TestDecodeTruncatedFlit(t *testing.T) {
 	e, ok = err.(*ErrFlit)
 	if !ok || e.Error() == "" {
 		t.Errorf("err = %v, want *ErrFlit", err)
+	}
+	if _, err := DecodeResp(Flit{}); err == nil {
+		t.Error("empty response flit accepted")
 	}
 }
 
@@ -199,6 +202,75 @@ func TestCapabilityBitsString(t *testing.T) {
 		if got := caps.String(); got != want {
 			t.Errorf("caps %d = %q, want %q", caps, got, want)
 		}
+	}
+}
+
+func TestBurstHeaderRoundTrip(t *testing.T) {
+	req := MemReq{Opcode: OpMemWrBurst, Addr: 0x40_0000, Tag: 0x1234, Lines: MaxBurstLines}
+	got, err := DecodeReq(EncodeReq(req))
+	if err != nil {
+		t.Fatalf("DecodeReq: %v", err)
+	}
+	if got != req {
+		t.Errorf("burst header round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+	if OpMemRdBurst.String() != "MemRdBurst" || OpMemWrBurst.String() != "MemWrBurst" {
+		t.Error("burst opcode strings")
+	}
+}
+
+func TestDataFlitRoundTrip(t *testing.T) {
+	var payload [LineSize]byte
+	for i := range payload {
+		payload[i] = byte(i ^ 0xC3)
+	}
+	var f Flit
+	EncodeDataInto(&f, 0xBEEF, 41, &payload)
+	var out [LineSize]byte
+	tag, seq, err := DecodeDataInto(&out, &f)
+	if err != nil {
+		t.Fatalf("DecodeDataInto: %v", err)
+	}
+	if tag != 0xBEEF || seq != 41 {
+		t.Errorf("tag/seq = %#x/%d", tag, seq)
+	}
+	if out != payload {
+		t.Error("data beat payload mismatch")
+	}
+	// Data flits are not decodable as requests or responses.
+	if _, err := DecodeReq(f); err == nil {
+		t.Error("data flit decoded as request")
+	}
+	if _, err := DecodeResp(f); err == nil {
+		t.Error("data flit decoded as response")
+	}
+	// Single-bit corruption on a data beat is caught.
+	for bit := 0; bit < LineSize*8; bit += 41 {
+		bad := f.Corrupt(bit)
+		if _, _, err := DecodeDataInto(&out, &bad); err == nil {
+			t.Errorf("bit %d corruption not detected on data flit", bit)
+		}
+	}
+}
+
+func TestBurstWireCosts(t *testing.T) {
+	// An n-line burst costs a header, n data beats and a completion.
+	if got := BurstWireBytes(1); got != 3*FlitSize {
+		t.Errorf("1-line burst = %d, want %d", got, 3*FlitSize)
+	}
+	if got := BurstWireBytes(MaxBurstLines); got != (MaxBurstLines+2)*FlitSize {
+		t.Errorf("full burst = %d", got)
+	}
+	// Efficiency approaches LineSize/FlitSize as the burst grows and
+	// always beats the per-line framing.
+	if e := BurstProtocolEfficiency(MaxBurstLines); e <= 0.9 || e >= float64(LineSize)/FlitSize {
+		t.Errorf("burst efficiency = %v", e)
+	}
+	if BurstProtocolEfficiency(1) <= ProtocolEfficiency()/2 {
+		t.Error("tiny burst efficiency collapsed")
+	}
+	if BurstProtocolEfficiency(0) != BurstProtocolEfficiency(1) {
+		t.Error("lines < 1 not clamped")
 	}
 }
 

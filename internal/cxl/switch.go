@@ -177,7 +177,9 @@ type LogicalDevice struct {
 func (ld *LogicalDevice) Partition() (base, size uint64) { return ld.base, ld.size }
 
 // partitionView restricts a media device to a sub-range, implementing
-// memdev.Device so the Type-3 machinery is reused unchanged.
+// memdev.Device so the Type-3 machinery — including the burst path,
+// which lands one multi-line ReadAt/WriteAt per burst here rather than
+// one per line — is reused unchanged.
 type partitionView struct {
 	m     *MLD
 	base  uint64

@@ -1,6 +1,7 @@
 package cxl
 
 import (
+	"bytes"
 	"testing"
 
 	"cxlpmem/internal/interconnect"
@@ -197,5 +198,50 @@ func TestPooledDevicesThroughSwitchEndToEnd(t *testing.T) {
 	resp := epB.HandleMem(MemReq{Opcode: OpMemRd, Addr: DefaultCXLWindowBase})
 	if got := string(resp.Data[:5]); got != "hostB" {
 		t.Errorf("hostB window begins %q, want its own data", got)
+	}
+}
+
+// TestLogicalDeviceBursts checks CXL 2.0 pooling composes with the
+// burst path: a carved MLD partition services multi-line bursts through
+// its partition view — one media span access per burst, confined to the
+// partition.
+func TestLogicalDeviceBursts(t *testing.T) {
+	mld, err := NewMLD("pool-mld", testMedia(t, "mld-media"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := mld.Carve("ld0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	rp := trainedPort(t, ld)
+	in := make([]byte, 6*LineSize)
+	for i := range in {
+		in[i] = byte(i + 9)
+	}
+	if err := rp.WriteBurst(128, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := rp.ReadBurst(128, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("burst through MLD partition mismatched")
+	}
+	// One span write + one span read against the partition view.
+	reads, writes, br, bw := ld.view.Stats().Snapshot()
+	if reads != 1 || writes != 1 {
+		t.Errorf("partition view saw %d reads %d writes, want 1/1", reads, writes)
+	}
+	if br != int64(len(in)) || bw != int64(len(in)) {
+		t.Errorf("partition view moved %d/%d bytes, want %d", br, bw, len(in))
+	}
+	// A burst escaping the partition is refused.
+	if err := rp.WriteBurst(1<<20-uint64(LineSize), in); err == nil {
+		t.Error("burst past partition end accepted")
 	}
 }

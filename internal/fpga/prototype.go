@@ -167,6 +167,15 @@ func (p *Prototype) TheoreticalLinkPeak() units.Bandwidth { return p.link.RawPea
 // EffectiveCap is the post-protocol payload bandwidth of the link.
 func (p *Prototype) EffectiveCap() units.Bandwidth { return p.link.EffectiveCap() }
 
+// BurstEfficiency is the payload fraction of wire traffic when the host
+// streams maximal CXL.mem bursts at the card: one header flit and one
+// completion amortised over MaxBurstLines all-data flits (§2.2's point
+// that the observed bandwidth ceiling "does not reflect an intrinsic
+// limitation of the CXL standard" — the framing allows ~94% payload).
+func (p *Prototype) BurstEfficiency() float64 {
+	return cxl.BurstProtocolEfficiency(cxl.MaxBurstLines)
+}
+
 func (p *Prototype) String() string {
 	return fmt.Sprintf("%s: Agilex7 CXL Type3, %dx%s DDR4-%d, %s link",
 		p.opts.Name, p.opts.Channels, p.opts.ChannelCapacity, p.opts.Rate, p.opts.LinkKind)

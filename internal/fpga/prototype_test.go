@@ -1,6 +1,7 @@
 package fpga
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -216,5 +217,47 @@ func TestString(t *testing.T) {
 	s := p.String()
 	if !strings.Contains(s, "Agilex7") || !strings.Contains(s, "DDR4-1333") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestPrototypeServicesBursts checks the card is a native BurstHandler:
+// a multi-line burst lands as one HDM access against the card DRAM and
+// round-trips bit-exact through a root port.
+func TestPrototypeServicesBursts(t *testing.T) {
+	card, err := New(Options{ChannelCapacity: 8 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := interface{}(card).(cxl.BurstHandler); !ok {
+		t.Fatal("prototype does not implement cxl.BurstHandler")
+	}
+	rp := cxl.NewRootPort("rp0", card.Link())
+	if err := rp.Attach(card); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cxl.Enumerate(0, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := h.Windows[0].Base
+	in := make([]byte, 8*cxl.LineSize)
+	for i := range in {
+		in[i] = byte(i * 5)
+	}
+	if err := rp.WriteBurst(base, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := rp.ReadBurst(base, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("burst round trip through the card mismatched")
+	}
+	if card.Stats().WriteBursts.Load() != 1 || card.Stats().ReadBursts.Load() != 1 {
+		t.Error("card did not service the bursts natively")
+	}
+	if e := card.BurstEfficiency(); e <= 0.9 {
+		t.Errorf("burst efficiency = %v, want > 0.9", e)
 	}
 }

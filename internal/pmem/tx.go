@@ -220,27 +220,35 @@ func (p *Pool) clearLog() error {
 	return p.logWrite32(logCount, 0)
 }
 
-// applyLog replays undo entries onto the media (rollback).
-func (p *Pool) applyLog() error {
-	count, err := p.logRead32(logCount)
-	if err != nil {
+// replayLog walks the undo log through readAt — the media for Abort,
+// the in-memory view for crash recovery at Open — validating each
+// entry's bounds and CRC, and writes every snapshot back onto the
+// media (and the view, when one is mapped). One implementation of the
+// entry format serves both rollback paths.
+func (p *Pool) replayLog(readAt func(b []byte, off int64) error) error {
+	var cnt [4]byte
+	if err := readAt(cnt[:], int64(p.logOff+logCount)); err != nil {
 		return err
 	}
+	count := binary.LittleEndian.Uint32(cnt[:])
 	cursor := uint64(logEntries)
 	for i := uint32(0); i < count; i++ {
+		if cursor+entryHeaderSize > p.logSize {
+			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d malformed", i)}
+		}
 		hdr := make([]byte, entryHeaderSize)
-		if err := p.region.ReadAt(hdr, int64(p.logOff+cursor)); err != nil {
+		if err := readAt(hdr, int64(p.logOff+cursor)); err != nil {
 			return err
 		}
 		off := binary.LittleEndian.Uint64(hdr[0:])
 		n := binary.LittleEndian.Uint64(hdr[8:])
 		wantCRC := binary.LittleEndian.Uint32(hdr[16:])
 		padded := alignUp64(n, 8)
-		if off+n > uint64(p.size) || p.logOff+cursor+entryHeaderSize+padded > p.logOff+p.logSize {
+		if off+n > uint64(p.size) || cursor+entryHeaderSize+padded > p.logSize {
 			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d malformed", i)}
 		}
 		data := make([]byte, padded)
-		if err := p.region.ReadAt(data, int64(p.logOff+cursor+entryHeaderSize)); err != nil {
+		if err := readAt(data, int64(p.logOff+cursor+entryHeaderSize)); err != nil {
 			return err
 		}
 		if crc32.Checksum(data[:n], crcTable) != wantCRC {
@@ -249,24 +257,45 @@ func (p *Pool) applyLog() error {
 		if err := p.region.WriteAt(data[:n], int64(off)); err != nil {
 			return err
 		}
+		if p.view != nil {
+			copy(p.view[off:off+n], data[:n])
+		}
 		cursor += entryHeaderSize + padded
 	}
 	return nil
 }
 
-// recoverLog runs at Open: a log left active by a crash is rolled back.
-func (p *Pool) recoverLog() error {
-	state, err := p.logRead32(logState)
-	if err != nil {
-		return err
-	}
-	if state != logActive {
+// applyLog replays undo entries from the media onto the media
+// (rollback during Abort).
+func (p *Pool) applyLog() error {
+	return p.replayLog(p.region.ReadAt)
+}
+
+// recoverLogFromView runs at Open, after the pool image has been read
+// into the view with a single media scan: a log left active by a crash
+// is parsed out of the in-memory image (identical to what a media read
+// would return, since log writes always go straight to the media) and
+// its snapshots are applied to both the media and the view. Transaction
+// ranges live in the heap and the log in its own region, so an entry's
+// data and its restore target never overlap.
+func (p *Pool) recoverLogFromView() error {
+	log := p.view[p.logOff : p.logOff+p.logSize]
+	if binary.LittleEndian.Uint32(log[logState:]) != logActive {
 		return nil
 	}
-	if err := p.applyLog(); err != nil {
+	viewRead := func(b []byte, off int64) error {
+		copy(b, p.view[off:])
+		return nil
+	}
+	if err := p.replayLog(viewRead); err != nil {
 		return err
 	}
-	return p.clearLog()
+	if err := p.clearLog(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(log[logState:], logIdle)
+	binary.LittleEndian.PutUint32(log[logCount:], 0)
+	return nil
 }
 
 // Update runs fn inside a transaction over the given range: the range

@@ -433,3 +433,59 @@ func TestTxAtomicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// countingRegion wraps a Region and counts bytes read through it.
+type countingRegion struct {
+	inner     Region
+	bytesRead int64
+}
+
+func (c *countingRegion) ReadAt(p []byte, off int64) error {
+	c.bytesRead += int64(len(p))
+	return c.inner.ReadAt(p, off)
+}
+func (c *countingRegion) WriteAt(p []byte, off int64) error { return c.inner.WriteAt(p, off) }
+func (c *countingRegion) Size() int64                       { return c.inner.Size() }
+func (c *countingRegion) Persistent() bool                  { return c.inner.Persistent() }
+
+// TestOpenSingleMediaScan guards the Open fast path: even when undo-log
+// recovery runs, the media is scanned exactly once (header probe plus
+// one full view load) — the log is recovered from the in-memory view,
+// not from a second media pass.
+func TestOpenSingleMediaScan(t *testing.T) {
+	p, r := createPool(t)
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p.View(oid, 64)
+	copy(v, "old-value")
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "torn-data")
+	if err := p.Persist(oid, 64); err != nil {
+		t.Fatal(err)
+	}
+	p.SimulateCrash()
+
+	cr := &countingRegion{inner: r}
+	p2, err := Open(cr, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p2.View(oid, 64)
+	if string(got[:9]) != "old-value" {
+		t.Errorf("recovery result = %q, want old-value", got[:9])
+	}
+	if max := int64(testPoolSize) + headerSize; cr.bytesRead > max {
+		t.Errorf("Open read %d bytes, want <= %d (single media scan)", cr.bytesRead, max)
+	}
+}

@@ -6,9 +6,11 @@
 // A Mount exposes a byte-addressable region of a device through an
 // Accessor — for CXL mounts the accessor routes every access through the
 // root port and the CXL.mem protocol, exactly as a DAX mapping of an HDM
-// window would. Files are simple extents; like a real DAX filesystem the
-// data path is load/store, and the (tiny) metadata path is assumed
-// durable out of band.
+// window would; bulk file I/O rides the port's burst transactions, so a
+// pool-sized read is a stream of multi-line bursts rather than one codec
+// round trip per cache line. Files are simple extents; like a real DAX
+// filesystem the data path is load/store, and the (tiny) metadata path
+// is assumed durable out of band.
 package pmemfs
 
 import (

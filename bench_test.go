@@ -306,9 +306,13 @@ func BenchmarkAblationTxOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkCXLPortLine measures the substrate's real per-line CXL.mem
-// round trip (flit encode, decode, HDM lookup, media access).
-func BenchmarkCXLPortLine(b *testing.B) {
+// benchCXLPort builds a trained port over the FPGA card (16 MiB HDM:
+// two 8 MiB channels — enough for 16 independent 1 MiB parallel-worker
+// regions) and returns it with its enumerated window base. Shared by
+// the serial and parallel port benchmarks so they always measure the
+// same hardware configuration.
+func benchCXLPort(b *testing.B) (*cxl.RootPort, uint64) {
+	b.Helper()
 	card, err := fpga.New(fpga.Options{ChannelCapacity: 8 * units.MiB})
 	if err != nil {
 		b.Fatal(err)
@@ -321,7 +325,13 @@ func BenchmarkCXLPortLine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	base := h.Windows[0].Base
+	return rp, h.Windows[0].Base
+}
+
+// BenchmarkCXLPortLine measures the substrate's real per-line CXL.mem
+// round trip (flit encode, decode, HDM lookup, media access).
+func BenchmarkCXLPortLine(b *testing.B) {
+	rp, base := benchCXLPort(b)
 	var line [cxl.LineSize]byte
 	b.SetBytes(int64(cxl.LineSize))
 	b.ResetTimer()
@@ -341,19 +351,7 @@ func BenchmarkCXLPortLine(b *testing.B) {
 // still crossing the modelled wire (encode, CRC, decode). The per-line
 // baseline above needs 64 full codec round trips for the same bytes.
 func BenchmarkCXLPortBurst(b *testing.B) {
-	card, err := fpga.New(fpga.Options{ChannelCapacity: 8 * units.MiB})
-	if err != nil {
-		b.Fatal(err)
-	}
-	rp := cxl.NewRootPort("rp", card.Link())
-	if err := rp.Attach(card); err != nil {
-		b.Fatal(err)
-	}
-	h, err := cxl.Enumerate(0, rp)
-	if err != nil {
-		b.Fatal(err)
-	}
-	base := h.Windows[0].Base
+	rp, base := benchCXLPort(b)
 	const burst = cxl.MaxBurstLines * cxl.LineSize // 4 KiB
 	buf := make([]byte, burst)
 	for i := range buf {

@@ -1,0 +1,164 @@
+// Concurrency benchmarks: quantify how the multi-queue port and the
+// multi-lane transaction machinery scale when many goroutines share one
+// data path. Each benchmark has a serial baseline and a parallel
+// variant pinned to (at least) 8 goroutines; comparing the two MB/s
+// figures gives the aggregate-scaling factor CI's bench smoke records.
+// On the steady state both paths allocate nothing (ReportAllocs).
+package cxlpmem
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"cxlpmem/internal/cluster"
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/pmem"
+	"cxlpmem/internal/units"
+)
+
+// parallelGoroutines is the goroutine count the parallel benchmarks
+// target (the ISSUE's scaling criterion is quoted at 8).
+const parallelGoroutines = 8
+
+// setParallelism pins b.RunParallel to at least parallelGoroutines
+// goroutines regardless of GOMAXPROCS.
+func setParallelism(b *testing.B) {
+	p := (parallelGoroutines + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(p)
+}
+
+// BenchmarkParallelPorts measures the aggregate CXL.mem burst
+// throughput of one port driven by many goroutines, against the same
+// loop on a single goroutine. Every goroutine owns a private 1 MiB
+// region, so the comparison isolates data-path serialisation: with the
+// multi-queue issue model and the sharded media store, the parallel
+// aggregate should scale with cores instead of collapsing onto one
+// lock.
+func BenchmarkParallelPorts(b *testing.B) {
+	const burst = cxl.MaxBurstLines * cxl.LineSize // 4 KiB
+	const regionBytes = 1 << 20
+
+	run := func(b *testing.B, rp *cxl.RootPort, region uint64, buf []byte, i int) {
+		addr := region + uint64(i%(regionBytes/burst))*uint64(burst)
+		if err := rp.WriteBurst(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := rp.ReadBurst(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		rp, base := benchCXLPort(b)
+		buf := make([]byte, burst)
+		if err := rp.WriteBurst(base, buf); err != nil { // pre-touch
+			b.Fatal(err)
+		}
+		b.SetBytes(2 * int64(burst))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rp, base, buf, i)
+		}
+	})
+
+	b.Run("parallel8", func(b *testing.B) {
+		rp, base := benchCXLPort(b)
+		var nextWorker atomic.Uint64
+		setParallelism(b)
+		b.SetBytes(2 * int64(burst))
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			region := base + (nextWorker.Add(1)%16)*regionBytes
+			buf := make([]byte, burst)
+			for i := 0; pb.Next(); i++ {
+				run(b, rp, region, buf, i)
+			}
+		})
+	})
+}
+
+// BenchmarkConcurrentTx measures transactional update throughput —
+// pmemobj-style Begin/AddRange/Commit over 4 KiB objects — serial vs
+// many goroutines on disjoint objects. The multi-lane undo log lets
+// independent transactions snapshot and commit concurrently; the serial
+// baseline bounds what one lane could do.
+func BenchmarkConcurrentTx(b *testing.B) {
+	const objSize = 4096
+
+	b.Run("serial", func(b *testing.B) {
+		p := benchPool(b, 64<<20)
+		oid, err := p.Alloc(objSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := p.Update(oid, 0, objSize, func(v []byte) error {
+				v[i%objSize] = byte(i)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel8", func(b *testing.B) {
+		p := benchPool(b, 64<<20)
+		// One object per potential worker, handed out through a free
+		// list so no object ever has two concurrent writers
+		// (single-writer-per-object is the pmem contract).
+		const objs = 64
+		free := make(chan pmem.OID, objs)
+		for i := 0; i < objs; i++ {
+			oid, err := p.Alloc(objSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			free <- oid
+		}
+		setParallelism(b)
+		b.SetBytes(objSize)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			oid := <-free
+			defer func() { free <- oid }()
+			for i := 0; pb.Next(); i++ {
+				err := p.Update(oid, 0, objSize, func(v []byte) error {
+					v[i%objSize] = byte(i)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkParallelCluster runs the measured multi-host scale-out: k
+// hosts concurrently streaming bursts at one pooled appliance through
+// the real switch/MLD path (the RunParallel mode of internal/cluster).
+func BenchmarkParallelCluster(b *testing.B) {
+	c, err := cluster.New(4, 64*units.MiB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perHost = 4 << 20
+	b.SetBytes(4 * perHost)
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pt, err := c.RunParallel(4, perHost, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt.Aggregate.GBps()
+	}
+	b.StopTimer()
+	b.ReportMetric(last, "measured-aggregate:GB/s")
+}

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/interconnect"
@@ -50,6 +51,13 @@ type Cluster struct {
 	MLD    *cxl.MLD
 	// media is the appliance DRAM backing the MLD.
 	media memdev.Device
+
+	// scaleMu guards scaleCache, the memoised analytical Scalability
+	// tables keyed by threadsPerHost (RunParallel consults the model
+	// on every call; the fabric is immutable after New, so the table
+	// never changes).
+	scaleMu    sync.Mutex
+	scaleCache map[int][]ScalePoint
 }
 
 // New assembles a cluster of k hosts, each receiving perHost bytes of

@@ -152,3 +152,78 @@ func TestScalabilityShape(t *testing.T) {
 		t.Error("no contention visible at 4 hosts")
 	}
 }
+
+func TestRunParallelMeasuredVsAnalytical(t *testing.T) {
+	c := testCluster(t, 4)
+	const perHost = 4 << 20 // 4 MiB each, enough bursts to be stable
+	pt, err := c.RunParallel(4, perHost, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Hosts != 4 || len(pt.PerHost) != 4 {
+		t.Fatalf("point shape: %+v", pt)
+	}
+	if pt.Elapsed <= 0 || pt.Aggregate <= 0 {
+		t.Fatalf("no throughput measured: %+v", pt)
+	}
+	var sum units.Bandwidth
+	for i, bw := range pt.PerHost {
+		if bw <= 0 {
+			t.Errorf("host %d achieved no throughput", i)
+		}
+		sum += bw
+	}
+	// The switch arbitrates round-robin and the partitions are
+	// symmetric, so no host may starve: each host must achieve at
+	// least a small fraction of the mean (loose bound — single-core CI
+	// runners schedule goroutines unevenly).
+	mean := sum / units.Bandwidth(len(pt.PerHost))
+	for i, bw := range pt.PerHost {
+		if bw < mean/20 {
+			t.Errorf("host %d starved: %v vs mean %v", i, bw, mean)
+		}
+	}
+	// The analytical model must be populated from the same cluster and
+	// agree with Scalability.
+	pts, err := c.Scalability(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Analytical != pts[3].Aggregate {
+		t.Errorf("analytical aggregate %v, want %v", pt.Analytical, pts[3].Aggregate)
+	}
+	// Data integrity: every partition saw exactly the written bytes
+	// (half the moved bytes are writes).
+	for i := 0; i < 4; i++ {
+		wrote := c.Hosts[i].LD.Media().Stats().BytesWrite.Load()
+		if wrote != perHost/2 {
+			t.Errorf("host %d media writes = %d, want %d", i, wrote, perHost/2)
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	c := testCluster(t, 2)
+	if _, err := c.RunParallel(3, 1<<20, 10); err == nil {
+		t.Error("host count beyond cluster accepted")
+	}
+	if _, err := c.RunParallel(1, 100, 10); err == nil {
+		t.Error("non-burst-multiple byte count accepted")
+	}
+}
+
+func TestRunParallelSweep(t *testing.T) {
+	c := testCluster(t, 2)
+	pts, err := c.RunParallelSweep(1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Aggregate <= 0 || pt.Analytical <= 0 {
+			t.Errorf("empty sweep point: %+v", pt)
+		}
+	}
+}

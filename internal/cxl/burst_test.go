@@ -60,7 +60,7 @@ func TestBurstRejectsUnaligned(t *testing.T) {
 func TestBurstFlitCounts(t *testing.T) {
 	rp, _ := burstPort(t, 1<<20)
 	var flits int
-	rp.FlitTrace = func(Flit) { flits++ }
+	rp.SetFlitTrace(func(Flit) { flits++ })
 	const lines = 8
 	buf := make([]byte, lines*LineSize)
 	if err := rp.WriteBurst(0, buf); err != nil {
@@ -83,13 +83,13 @@ func TestBurstRetryRecoversTransientDataCorruption(t *testing.T) {
 	rp, _ := burstPort(t, 1<<20)
 	// Corrupt the third flit once (a data beat of the write burst).
 	n := 0
-	rp.Fault = func(f Flit) Flit {
+	rp.SetFault(func(f Flit) Flit {
 		n++
 		if n == 3 {
 			return f.Corrupt(200)
 		}
 		return f
-	}
+	})
 	in := make([]byte, 4*LineSize)
 	for i := range in {
 		in[i] = byte(i)
@@ -97,7 +97,7 @@ func TestBurstRetryRecoversTransientDataCorruption(t *testing.T) {
 	if err := rp.WriteBurst(0, in); err != nil {
 		t.Fatalf("burst with transient data corruption: %v", err)
 	}
-	rp.Fault = nil
+	rp.SetFault(nil)
 	out := make([]byte, len(in))
 	if err := rp.ReadBurst(0, out); err != nil {
 		t.Fatal(err)
@@ -114,12 +114,12 @@ func TestBurstRetryExhaustionOnDataFlit(t *testing.T) {
 	rp, _ := burstPort(t, 1<<20)
 	// Corrupt every data flit; headers pass. The data-beat LRSM must
 	// give up after maxLinkRetries.
-	rp.Fault = func(f Flit) Flit {
+	rp.SetFault(func(f Flit) Flit {
 		if f.raw[0] == flitKindData {
 			return f.Corrupt(50)
 		}
 		return f
-	}
+	})
 	err := rp.WriteBurst(0, make([]byte, 2*LineSize))
 	if err == nil {
 		t.Fatal("persistent data-flit corruption not detected")

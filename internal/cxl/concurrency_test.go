@@ -1,0 +1,327 @@
+package cxl
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// concurrencyPort builds a trained port over a Type-3 device with one
+// identity-mapped decoder of the given size.
+func concurrencyPort(t *testing.T, size uint64) (*RootPort, *Type3Device) {
+	t.Helper()
+	media, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: "conc-dram", Rate: 3200, Channels: 1,
+		CapacityPerChannel: units.Size(size),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewType3("conc-dev", 0x8086, 0x0001, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramDecoder(&HDMDecoder{Base: 0, Size: size}); err != nil {
+		t.Fatal(err)
+	}
+	rp := trainedPort(t, dev)
+	return rp, dev
+}
+
+// TestConcurrentMixedTrafficNoDuplicateTags drives many goroutines of
+// mixed line and burst traffic through one port and asserts the
+// multi-queue tag discipline: with fewer transactions than the tag
+// space holds, no two transactions may ever receive the same tag, and
+// the per-VC issue counters must account for every transaction.
+func TestConcurrentMixedTrafficNoDuplicateTags(t *testing.T) {
+	const (
+		workers     = 8
+		rounds      = 60
+		regionBytes = 16 << 10 // per-worker region
+	)
+	rp, _ := concurrencyPort(t, workers*regionBytes)
+
+	var tagMu sync.Mutex
+	tags := make(map[uint16]int)
+	rp.SetFlitTrace(func(f Flit) {
+		if f.raw[0] != flitKindReq {
+			return
+		}
+		var req MemReq
+		if DecodeReqInto(&req, &f) != nil {
+			return
+		}
+		tagMu.Lock()
+		tags[req.Tag]++
+		tagMu.Unlock()
+	})
+
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * regionBytes)
+			burst := make([]byte, 4096)
+			var line [LineSize]byte
+			for i := 0; i < rounds; i++ {
+				for j := range burst {
+					burst[j] = byte(w ^ i ^ j)
+				}
+				if err := rp.WriteBurst(base, burst); err != nil {
+					errs[w] = err
+					return
+				}
+				got := make([]byte, len(burst))
+				if err := rp.ReadBurst(base, got); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(burst, got) {
+					errs[w] = &PortError{Port: "conc", Op: "verify", Addr: base, Why: "burst read-back mismatch (lost update)"}
+					return
+				}
+				lineAddr := base + 8192
+				for j := range line {
+					line[j] = byte(w + i + j)
+				}
+				if err := rp.WriteLine(lineAddr, &line); err != nil {
+					errs[w] = err
+					return
+				}
+				var back [LineSize]byte
+				if err := rp.ReadLine(lineAddr, &back); err != nil {
+					errs[w] = err
+					return
+				}
+				if back != line {
+					errs[w] = &PortError{Port: "conc", Op: "verify", Addr: lineAddr, Why: "line read-back mismatch (lost update)"}
+					return
+				}
+				issued.Add(4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tag uniqueness: every issued transaction carries a distinct
+	// (VC, sequence) pair until a VC's sequence wraps at 2^13; the
+	// test issues far fewer.
+	tagMu.Lock()
+	defer tagMu.Unlock()
+	for tag, n := range tags {
+		if n != 1 {
+			t.Errorf("tag %#x issued %d times (duplicate in-flight tag)", tag, n)
+		}
+	}
+	if int64(len(tags)) != issued.Load() {
+		t.Errorf("traced %d distinct request tags, want %d", len(tags), issued.Load())
+	}
+	var vcIssued int64
+	for _, vc := range rp.VCStats() {
+		vcIssued += vc.Issued
+	}
+	if vcIssued != issued.Load() {
+		t.Errorf("per-VC issue counters sum to %d, want %d", vcIssued, issued.Load())
+	}
+}
+
+// TestConcurrentTrafficWithFaultInjection runs the same mixed workload
+// under deterministic fault injection: every 17th flit on the wire is
+// corrupted once. Each corruption must cost exactly one link-level
+// retransmission (never a failed transaction: retransmits are 17 moves
+// apart, so a retried flit is never corrupted twice in a row), the
+// port-level retry counter must equal the number of injected faults,
+// and the per-VC retry counters must sum to it.
+func TestConcurrentTrafficWithFaultInjection(t *testing.T) {
+	const (
+		workers     = 8
+		rounds      = 40
+		regionBytes = 8 << 10
+	)
+	rp, _ := concurrencyPort(t, workers*regionBytes)
+
+	var moves, injected atomic.Int64
+	rp.SetFault(func(f Flit) Flit {
+		if moves.Add(1)%17 == 0 {
+			injected.Add(1)
+			return f.Corrupt(5)
+		}
+		return f
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * regionBytes)
+			burst := make([]byte, 2048)
+			var line [LineSize]byte
+			for i := 0; i < rounds; i++ {
+				for j := range burst {
+					burst[j] = byte(w*31 + i + j)
+				}
+				if err := rp.WriteBurst(base, burst); err != nil {
+					errs[w] = err
+					return
+				}
+				got := make([]byte, len(burst))
+				if err := rp.ReadBurst(base, got); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(burst, got) {
+					errs[w] = &PortError{Port: "conc", Op: "verify", Addr: base, Why: "lost update under fault injection"}
+					return
+				}
+				line[0] = byte(i)
+				if err := rp.WriteLine(base+4096, &line); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := rp.Retries(), injected.Load(); got != want {
+		t.Errorf("Retries() = %d, want %d (one retransmission per injected fault)", got, want)
+	}
+	var vcRetries int64
+	for _, vc := range rp.VCStats() {
+		vcRetries += vc.Retries
+	}
+	if vcRetries != rp.Retries() {
+		t.Errorf("per-VC retry counters sum to %d, want %d", vcRetries, rp.Retries())
+	}
+}
+
+// TestHookSwapDuringTraffic swaps the trace and fault hooks while
+// traffic is in flight: the snapshot pattern must keep every
+// transaction on a consistent hook pair (the race detector guards the
+// rest).
+func TestHookSwapDuringTraffic(t *testing.T) {
+	rp, _ := concurrencyPort(t, 1<<20)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var trafficErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4096)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rp.WriteBurst(uint64(i%16)*4096, buf); err != nil {
+				trafficErr = err
+				return
+			}
+		}
+	}()
+	var traced atomic.Int64
+	for i := 0; i < 200; i++ {
+		rp.SetFlitTrace(func(Flit) { traced.Add(1) })
+		rp.SetFault(func(f Flit) Flit { return f })
+		rp.SetFlitTrace(nil)
+		rp.SetFault(nil)
+	}
+	close(stop)
+	wg.Wait()
+	if trafficErr != nil {
+		t.Fatalf("traffic failed during hook swaps: %v", trafficErr)
+	}
+}
+
+// TestConcurrentPartitions drives every partition of one MLD from its
+// own goroutine through its own port: per-partition traffic must
+// proceed independently (no cross-partition interference, correct
+// per-partition byte accounting).
+func TestConcurrentPartitions(t *testing.T) {
+	const parts = 4
+	const partSize = 4 << 20
+	media, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: "mld-dram", Rate: 3200, Channels: 1,
+		CapacityPerChannel: parts * partSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mld, err := NewMLD("mld", media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := make([]*RootPort, parts)
+	lds := make([]*LogicalDevice, parts)
+	for i := 0; i < parts; i++ {
+		ld, err := mld.Carve("ld", partSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ld.ProgramDecoder(&HDMDecoder{Base: 0, Size: partSize}); err != nil {
+			t.Fatal(err)
+		}
+		lds[i] = ld
+		ports[i] = trainedPort(t, ld)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, parts)
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for j := range buf {
+				buf[j] = byte(i)
+			}
+			got := make([]byte, 4096)
+			for r := 0; r < 50; r++ {
+				addr := uint64(r%4) * 4096
+				if err := ports[i].WriteBurst(addr, buf); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := ports[i].ReadBurst(addr, got); err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(buf, got) {
+					errs[i] = &PortError{Port: "part", Op: "verify", Addr: addr, Why: "cross-partition interference"}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+	for i, ld := range lds {
+		wrote := ld.Media().Stats().BytesWrite.Load()
+		if wrote != 50*4096 {
+			t.Errorf("partition %d wrote %d bytes, want %d", i, wrote, 50*4096)
+		}
+	}
+}

@@ -288,7 +288,7 @@ func TestRootPortFlitTrace(t *testing.T) {
 	}
 	rp := trainedPort(t, dev)
 	var flits int
-	rp.FlitTrace = func(Flit) { flits++ }
+	rp.SetFlitTrace(func(Flit) { flits++ })
 	var line [LineSize]byte
 	if err := rp.WriteLine(0, &line); err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 	"testing"
 )
 
@@ -187,14 +188,13 @@ func TestLinkRetryRecoversTransientCorruption(t *testing.T) {
 	}
 	rp := trainedPort(t, dev)
 	// Corrupt the first two flits only; the LRSM retransmits.
-	n := 0
-	rp.Fault = func(f Flit) Flit {
-		n++
-		if n <= 2 {
+	var n atomic.Int64
+	rp.SetFault(func(f Flit) Flit {
+		if n.Add(1) <= 2 {
 			return f.Corrupt(100)
 		}
 		return f
-	}
+	})
 	var in, out [LineSize]byte
 	in[0] = 0x5A
 	if err := rp.WriteLine(0, &in); err != nil {
@@ -217,7 +217,7 @@ func TestLinkRetryGivesUpOnPersistentFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	rp := trainedPort(t, dev)
-	rp.Fault = func(f Flit) Flit { return f.Corrupt(7) } // always bad
+	rp.SetFault(func(f Flit) Flit { return f.Corrupt(7) }) // always bad
 	var line [LineSize]byte
 	err := rp.WriteLine(0, &line)
 	if err == nil {

@@ -25,28 +25,77 @@ func (s LinkState) String() string {
 	return "down"
 }
 
+// Multi-queue issue model. The port exposes NumVCs virtual channels,
+// mirroring the per-QoS-class request queues of a real CXL host bridge:
+// every transaction is dispatched round-robin onto one VC, which owns a
+// slice of the tag space (the VC index in the high bits, a per-VC
+// sequence in the low bits) and its own retry state. Concurrent
+// ReadLine/WriteLine/ReadBurst/WriteBurst calls from many goroutines
+// therefore never contend on a shared sequence counter and can never
+// observe each other's tags: two in-flight transactions always differ
+// in VC bits or in sequence bits.
+const (
+	// NumVCs is the number of virtual channels per port (power of two).
+	NumVCs = 8
+	// vcTagBits is the per-VC sequence width inside the 16-bit tag; the
+	// top bits carry the VC index.
+	vcTagBits = 13
+	vcSeqMask = 1<<vcTagBits - 1
+)
+
+// virtualChannel is one issue queue: a private tag sequence plus a
+// retry counter. The sequence doubles as the issue counter (one tag
+// per transaction). Padded to a cache line so adjacent VCs do not
+// false-share under parallel load.
+type virtualChannel struct {
+	seq     atomic.Uint32
+	retries atomic.Int64
+	_       [48]byte
+}
+
+// VCStat is a snapshot of one virtual channel's counters.
+type VCStat struct {
+	Issued  int64
+	Retries int64
+}
+
+// portHooks is the immutable snapshot of the port's observation and
+// fault-injection hooks. The hot path loads it once per transaction, so
+// hooks can be swapped at runtime while traffic is in flight: every
+// transaction sees either the old pair or the new pair, never a torn
+// mix.
+type portHooks struct {
+	trace func(Flit)
+	fault func(Flit) Flit
+}
+
+// portSession is the immutable snapshot of link training state: which
+// endpoint is attached and whether the link is up. Attach/Detach
+// publish a fresh snapshot; the data path reads it lock-free.
+type portSession struct {
+	state    LinkState
+	endpoint Endpoint
+}
+
 // RootPort is a host-side CXL port: the CPU's view of one PCIe/CXL slot.
 // It owns the physical link, performs link training against an attached
 // endpoint, and carries CXL.mem traffic to it. Every request/response
 // genuinely round-trips through the flit codec so protocol tests observe
-// real wire behaviour; the steady-state data path allocates nothing.
+// real wire behaviour; the steady-state data path allocates nothing and
+// is safe for concurrent use by many goroutines (see the multi-queue
+// issue model above).
 type RootPort struct {
 	name string
 	link *interconnect.Link
 
-	endpoint Endpoint
-	state    LinkState
-	tag      atomic.Uint32
+	// mu serialises the cold path only: Attach/Detach and hook swaps.
+	mu    sync.Mutex
+	sess  atomic.Pointer[portSession]
+	hooks atomic.Pointer[portHooks]
 
-	// FlitTrace, when non-nil, receives every flit the port moves
-	// (fault injection and protocol tests).
-	FlitTrace func(Flit)
-	// Fault, when non-nil, may corrupt a flit in flight (fault
-	// injection). The link-level retry state machine detects the CRC
-	// failure and retransmits, as CXL's LRSM does.
-	Fault func(Flit) Flit
-
-	retries atomic.Int64
+	// rr dispatches transactions round-robin over the VCs.
+	rr  atomic.Uint32
+	vcs [NumVCs]virtualChannel
 }
 
 // maxLinkRetries bounds retransmission before the port reports an
@@ -60,8 +109,25 @@ const maxBurstBytes = MaxBurstLines * LineSize
 // modelled wire) so the bulk path stays allocation-free in steady state.
 var burstBufPool = sync.Pool{New: func() any { return new([maxBurstBytes]byte) }}
 
-// Retries reports how many link-level retransmissions occurred.
-func (rp *RootPort) Retries() int64 { return rp.retries.Load() }
+// Retries reports how many link-level retransmissions occurred, summed
+// over all virtual channels.
+func (rp *RootPort) Retries() int64 {
+	var n int64
+	for i := range rp.vcs {
+		n += rp.vcs[i].retries.Load()
+	}
+	return n
+}
+
+// VCStats snapshots the per-virtual-channel issue and retry counters.
+// Issued counts modulo 2^32 (the sequence width).
+func (rp *RootPort) VCStats() [NumVCs]VCStat {
+	var out [NumVCs]VCStat
+	for i := range rp.vcs {
+		out[i] = VCStat{Issued: int64(rp.vcs[i].seq.Load()), Retries: rp.vcs[i].retries.Load()}
+	}
+	return out
+}
 
 // NewRootPort builds a root port over the given physical link.
 func NewRootPort(name string, link *interconnect.Link) *RootPort {
@@ -75,17 +141,60 @@ func (rp *RootPort) Name() string { return rp.name }
 func (rp *RootPort) Link() *interconnect.Link { return rp.link }
 
 // State returns the link state.
-func (rp *RootPort) State() LinkState { return rp.state }
+func (rp *RootPort) State() LinkState {
+	if s := rp.sess.Load(); s != nil {
+		return s.state
+	}
+	return LinkDown
+}
 
 // Endpoint returns the attached endpoint, or nil.
-func (rp *RootPort) Endpoint() Endpoint { return rp.endpoint }
+func (rp *RootPort) Endpoint() Endpoint {
+	if s := rp.sess.Load(); s != nil {
+		return s.endpoint
+	}
+	return nil
+}
+
+// setHooks publishes a new hook snapshot derived from the current one:
+// read-merge-store under mu so concurrent setters never lose each
+// other's hook, while in-flight transactions keep the snapshot they
+// loaded at issue time.
+func (rp *RootPort) setHooks(mutate func(*portHooks)) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	var h portHooks
+	if cur := rp.hooks.Load(); cur != nil {
+		h = *cur
+	}
+	mutate(&h)
+	rp.hooks.Store(&h)
+}
+
+// SetFlitTrace installs (or, with nil, removes) the hook that receives
+// every flit the port moves (fault injection and protocol tests). Safe
+// to call while traffic is in flight: transactions already issued keep
+// the hook snapshot they started with.
+func (rp *RootPort) SetFlitTrace(f func(Flit)) {
+	rp.setHooks(func(h *portHooks) { h.trace = f })
+}
+
+// SetFault installs (or, with nil, removes) the hook that may corrupt a
+// flit in flight (fault injection). The link-level retry state machine
+// detects the CRC failure and retransmits, as CXL's LRSM does. Safe to
+// swap at runtime, like SetFlitTrace.
+func (rp *RootPort) SetFault(f func(Flit) Flit) {
+	rp.setHooks(func(h *portHooks) { h.fault = f })
+}
 
 // Attach trains the link against ep. Training succeeds only if the
 // endpoint's config space carries a valid CXL DVSEC (alternate-protocol
 // negotiation: a plain PCIe card would not present one).
 func (rp *RootPort) Attach(ep Endpoint) error {
-	if rp.endpoint != nil {
-		return fmt.Errorf("cxl: %s: port already has endpoint %s", rp.name, rp.endpoint.Name())
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if s := rp.sess.Load(); s != nil && s.endpoint != nil {
+		return fmt.Errorf("cxl: %s: port already has endpoint %s", rp.name, s.endpoint.Name())
 	}
 	if ep == nil {
 		return fmt.Errorf("cxl: %s: nil endpoint", rp.name)
@@ -97,15 +206,34 @@ func (rp *RootPort) Attach(ep Endpoint) error {
 	if dvsec.Caps&CapIO == 0 {
 		return fmt.Errorf("cxl: %s: endpoint %s does not advertise CXL.io", rp.name, ep.Name())
 	}
-	rp.endpoint = ep
-	rp.state = LinkUp
+	rp.sess.Store(&portSession{state: LinkUp, endpoint: ep})
 	return nil
 }
 
-// Detach brings the link down and releases the endpoint.
+// Detach brings the link down and releases the endpoint. Transactions
+// already in flight complete against the endpoint they started with.
 func (rp *RootPort) Detach() {
-	rp.endpoint = nil
-	rp.state = LinkDown
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.sess.Store(&portSession{state: LinkDown})
+}
+
+// session returns the hot-path link snapshot, or an error when the link
+// is down.
+func (rp *RootPort) session(op string, addr uint64) (*portSession, error) {
+	s := rp.sess.Load()
+	if s == nil || s.state != LinkUp || s.endpoint == nil {
+		return nil, &PortError{Port: rp.name, Op: op, Addr: addr, Why: "link down"}
+	}
+	return s, nil
+}
+
+// issue dispatches one transaction onto a virtual channel: round-robin
+// VC selection, then a tag from that VC's private sequence space.
+func (rp *RootPort) issue() (*virtualChannel, uint16) {
+	i := rp.rr.Add(1) & (NumVCs - 1)
+	vc := &rp.vcs[i]
+	return vc, uint16(i)<<vcTagBits | uint16(vc.seq.Add(1))&vcSeqMask
 }
 
 // PortError reports a transaction-level failure at a port.
@@ -121,14 +249,18 @@ func (e *PortError) Error() string {
 }
 
 // moveFlit pushes one already-encoded flit through the modelled wire:
-// fault injection and tracing. The receiver's CRC check happens at
-// decode; the caller owns the retry loop.
-func (rp *RootPort) moveFlit(f *Flit) {
-	if rp.Fault != nil {
-		*f = rp.Fault(*f)
+// fault injection and tracing, using the hook snapshot the transaction
+// was issued with. The receiver's CRC check happens at decode; the
+// caller owns the retry loop.
+func (rp *RootPort) moveFlit(h *portHooks, f *Flit) {
+	if h == nil {
+		return
 	}
-	if rp.FlitTrace != nil {
-		rp.FlitTrace(*f)
+	if h.fault != nil {
+		*f = h.fault(*f)
+	}
+	if h.trace != nil {
+		h.trace(*f)
 	}
 }
 
@@ -139,17 +271,20 @@ func (rp *RootPort) moveFlit(f *Flit) {
 // zero heap allocations: flits live on the stack and decode happens in
 // place.
 func (rp *RootPort) transact(req *MemReq) (MemResp, error) {
-	if rp.state != LinkUp || rp.endpoint == nil {
-		return MemResp{}, &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "link down"}
-	}
-	req.Tag = uint16(rp.tag.Add(1))
-	var decoded MemReq
-	if err := rp.sendHeader(req, &decoded); err != nil {
+	s, err := rp.session(req.Opcode.String(), req.Addr)
+	if err != nil {
 		return MemResp{}, err
 	}
-	resp := rp.endpoint.HandleMem(decoded)
+	h := rp.hooks.Load()
+	vc, tag := rp.issue()
+	req.Tag = tag
+	var decoded MemReq
+	if err := rp.sendHeader(h, vc, req, &decoded); err != nil {
+		return MemResp{}, err
+	}
+	resp := s.endpoint.HandleMem(decoded)
 	var out MemResp
-	if err := rp.recvResp(req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(h, vc, req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
 		return MemResp{}, err
 	}
 	return out, nil
@@ -201,20 +336,20 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 // header) over the wire with link-level retry — a flit corrupted in
 // flight fails its CRC at the receiver, which NAKs, and the sender
 // retransmits from its retry buffer — and returns the decoded form the
-// device sees.
-func (rp *RootPort) sendHeader(req *MemReq, decoded *MemReq) error {
+// device sees. Retries are charged to the issuing VC.
+func (rp *RootPort) sendHeader(h *portHooks, vc *virtualChannel, req *MemReq, decoded *MemReq) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
 		EncodeReqInto(&f, req)
-		rp.moveFlit(&f)
+		rp.moveFlit(h, &f)
 		if err = DecodeReqInto(decoded, &f); err == nil {
 			return nil
 		}
 		if attempt >= maxLinkRetries {
 			return &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
 		}
-		rp.retries.Add(1)
+		vc.retries.Add(1)
 	}
 }
 
@@ -222,10 +357,10 @@ func (rp *RootPort) sendHeader(req *MemReq, decoded *MemReq) error {
 // retry and lands it in dst. f is caller-owned scratch, reused across
 // the beats of a burst so the wire loop does not re-zero a flit per
 // line.
-func (rp *RootPort) moveData(f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
+func (rp *RootPort) moveData(h *portHooks, vc *virtualChannel, f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
 	for attempt := 0; ; attempt++ {
 		EncodeDataInto(f, tag, seq, src)
-		rp.moveFlit(f)
+		rp.moveFlit(h, f)
 		gotTag, gotSeq, err := DecodeDataInto(dst, f)
 		if err == nil {
 			if gotTag != tag || gotSeq != seq {
@@ -236,25 +371,25 @@ func (rp *RootPort) moveData(f *Flit, op MemOpcode, addr uint64, tag uint16, seq
 		if attempt >= maxLinkRetries {
 			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error on data flit: " + err.Error()}
 		}
-		rp.retries.Add(1)
+		vc.retries.Add(1)
 	}
 }
 
 // recvResp pushes one completion/response flit back over the wire with
 // the same retry protection and enforces tag matching.
-func (rp *RootPort) recvResp(op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
+func (rp *RootPort) recvResp(h *portHooks, vc *virtualChannel, op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
 		EncodeRespInto(&f, resp)
-		rp.moveFlit(&f)
+		rp.moveFlit(h, &f)
 		if err = DecodeRespInto(out, &f); err == nil {
 			break
 		}
 		if attempt >= maxLinkRetries {
 			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error: " + err.Error()}
 		}
-		rp.retries.Add(1)
+		vc.retries.Add(1)
 	}
 	if out.Tag != tag {
 		return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag)}
@@ -268,15 +403,15 @@ func (rp *RootPort) recvResp(op MemOpcode, addr uint64, tag uint16, resp *MemRes
 // a write burst first probes every target line with MemRd (validating
 // decode and poison) and only then writes, so a burst failing on any
 // line leaves the media untouched either way.
-func (rp *RootPort) handleBurst(req MemReq, payload []byte) MemResp {
-	if bh, ok := rp.endpoint.(BurstHandler); ok {
+func (rp *RootPort) handleBurst(ep Endpoint, req MemReq, payload []byte) MemResp {
+	if bh, ok := ep.(BurstHandler); ok {
 		return bh.HandleMemBurst(req, payload)
 	}
 	lines := int(req.Lines)
 	if req.Opcode == OpMemWrBurst {
 		for i := 0; i < lines; i++ {
 			probe := MemReq{Opcode: OpMemRd, Tag: req.Tag, Addr: req.Addr + uint64(i*LineSize)}
-			if resp := rp.endpoint.HandleMem(probe); resp.Opcode != RespMemData {
+			if resp := ep.HandleMem(probe); resp.Opcode != RespMemData {
 				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
 			}
 		}
@@ -288,12 +423,12 @@ func (rp *RootPort) handleBurst(req MemReq, payload []byte) MemResp {
 		if req.Opcode == OpMemWrBurst {
 			lr.Opcode = OpMemWr
 			copy(lr.Data[:], payload[i*LineSize:(i+1)*LineSize])
-			if resp := rp.endpoint.HandleMem(lr); resp.Opcode != RespCmp {
+			if resp := ep.HandleMem(lr); resp.Opcode != RespCmp {
 				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
 			}
 		} else {
 			lr.Opcode = OpMemRd
-			resp := rp.endpoint.HandleMem(lr)
+			resp := ep.HandleMem(lr)
 			if resp.Opcode != RespMemData {
 				return MemResp{Tag: req.Tag, Opcode: resp.Opcode}
 			}
@@ -327,13 +462,16 @@ func (rp *RootPort) WriteBurst(hpa uint64, p []byte) error {
 }
 
 func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
-	if rp.state != LinkUp || rp.endpoint == nil {
-		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "link down"}
+	s, err := rp.session("MemWrBurst", hpa)
+	if err != nil {
+		return err
 	}
+	h := rp.hooks.Load()
+	vc, tag := rp.issue()
 	lines := len(p) / LineSize
-	req := MemReq{Opcode: OpMemWrBurst, Addr: hpa, Lines: uint16(lines), Tag: uint16(rp.tag.Add(1))}
+	req := MemReq{Opcode: OpMemWrBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(&req, &decoded); err != nil {
+	if err := rp.sendHeader(h, vc, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
@@ -341,15 +479,15 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(p[i*LineSize:])
 		dst := (*[LineSize]byte)(buf[i*LineSize:])
-		if err := rp.moveData(&f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(h, vc, &f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}
 	}
-	resp := rp.handleBurst(decoded, buf[:len(p)])
+	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	burstBufPool.Put(buf)
 	var out MemResp
-	if err := rp.recvResp(OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(h, vc, OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
 		return err
 	}
 	if out.Opcode != RespCmp {
@@ -379,19 +517,22 @@ func (rp *RootPort) ReadBurst(hpa uint64, p []byte) error {
 }
 
 func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
-	if rp.state != LinkUp || rp.endpoint == nil {
-		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "link down"}
+	s, err := rp.session("MemRdBurst", hpa)
+	if err != nil {
+		return err
 	}
+	h := rp.hooks.Load()
+	vc, tag := rp.issue()
 	lines := len(p) / LineSize
-	req := MemReq{Opcode: OpMemRdBurst, Addr: hpa, Lines: uint16(lines), Tag: uint16(rp.tag.Add(1))}
+	req := MemReq{Opcode: OpMemRdBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(&req, &decoded); err != nil {
+	if err := rp.sendHeader(h, vc, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
-	resp := rp.handleBurst(decoded, buf[:len(p)])
+	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	var out MemResp
-	if err := rp.recvResp(OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(h, vc, OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
 		burstBufPool.Put(buf)
 		return err
 	}
@@ -403,7 +544,7 @@ func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(buf[i*LineSize:])
 		dst := (*[LineSize]byte)(p[i*LineSize:])
-		if err := rp.moveData(&f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(h, vc, &f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}

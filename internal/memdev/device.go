@@ -137,16 +137,32 @@ func (e *AddrError) Error() string {
 // DAX mapping would use and keeps the page map small.
 const pageSize = 2 << 20
 
-// sparseStore is a lazily allocated byte store. Untouched regions read as
-// zero. It is safe for concurrent use.
+// storePage is one materialised 2 MiB page: its own content lock plus
+// the backing bytes. Per-page locking is what lets different hosts'
+// MLD partitions (disjoint pages of one appliance media) read and
+// write genuinely in parallel, while access to any single line — which
+// never spans a page — stays linearizable.
+type storePage struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// sparseStore is a lazily allocated byte store. Untouched regions read
+// as zero. It is safe for concurrent use: the page index is a sync.Map
+// (pages materialise once and are then read-mostly, the map's ideal
+// case), so page lookup — and the zero-fill path for untouched pages —
+// is lock-free; materialised page content is guarded by the page's own
+// read-write lock. Accesses confined to one page (every CXL line
+// transaction, and every burst that does not cross a 2 MiB boundary)
+// are linearizable; multi-page accesses commit page by page, exactly
+// as a multi-channel memory controller commits a multi-beat transfer.
 type sparseStore struct {
-	mu    sync.RWMutex
-	pages map[int64][]byte // page index -> pageSize bytes
+	pages sync.Map // page index (int64) -> *storePage
 	cap   int64
 }
 
 func newSparseStore(capacity units.Size) *sparseStore {
-	return &sparseStore{pages: make(map[int64][]byte), cap: capacity.Bytes()}
+	return &sparseStore{cap: capacity.Bytes()}
 }
 
 func (s *sparseStore) check(off int64, n int) bool {
@@ -154,8 +170,6 @@ func (s *sparseStore) check(off int64, n int) bool {
 }
 
 func (s *sparseStore) readAt(p []byte, off int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for len(p) > 0 {
 		idx := off / pageSize
 		po := off % pageSize
@@ -163,8 +177,11 @@ func (s *sparseStore) readAt(p []byte, off int64) {
 		if int64(len(p)) < n {
 			n = int64(len(p))
 		}
-		if pg, ok := s.pages[idx]; ok {
-			copy(p[:n], pg[po:po+n])
+		if v, ok := s.pages.Load(idx); ok {
+			pg := v.(*storePage)
+			pg.mu.RLock()
+			copy(p[:n], pg.buf[po:po+n])
+			pg.mu.RUnlock()
 		} else {
 			for i := range p[:n] {
 				p[i] = 0
@@ -175,9 +192,16 @@ func (s *sparseStore) readAt(p []byte, off int64) {
 	}
 }
 
+// page returns the materialised page idx, creating it on first touch.
+func (s *sparseStore) page(idx int64) *storePage {
+	if v, ok := s.pages.Load(idx); ok {
+		return v.(*storePage)
+	}
+	v, _ := s.pages.LoadOrStore(idx, &storePage{buf: make([]byte, pageSize)})
+	return v.(*storePage)
+}
+
 func (s *sparseStore) writeAt(p []byte, off int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for len(p) > 0 {
 		idx := off / pageSize
 		po := off % pageSize
@@ -185,28 +209,24 @@ func (s *sparseStore) writeAt(p []byte, off int64) {
 		if int64(len(p)) < n {
 			n = int64(len(p))
 		}
-		pg, ok := s.pages[idx]
-		if !ok {
-			pg = make([]byte, pageSize)
-			s.pages[idx] = pg
-		}
-		copy(pg[po:po+n], p[:n])
+		pg := s.page(idx)
+		pg.mu.Lock()
+		copy(pg.buf[po:po+n], p[:n])
+		pg.mu.Unlock()
 		p = p[n:]
 		off += n
 	}
 }
 
 func (s *sparseStore) clear() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pages = make(map[int64][]byte)
+	s.pages.Clear()
 }
 
 // touchedPages reports how many pages have been materialised (test hook).
 func (s *sparseStore) touchedPages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pages)
+	n := 0
+	s.pages.Range(func(any, any) bool { n++; return true })
+	return n
 }
 
 // baseDevice implements the storage and bookkeeping shared by all device

@@ -1,0 +1,21 @@
+package memdev
+
+import "testing"
+
+func BenchmarkStoreRead4K(b *testing.B) {
+	d, err := NewDRAM(DRAMConfig{Name: "bench", Rate: 3200, Channels: 1, CapacityPerChannel: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := d.WriteAt(buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ReadAt(buf, int64(i%2048)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -210,11 +210,13 @@ type CheckReport struct {
 // Check walks the heap like `pmempool check`, validating every header
 // and summarising occupancy. It never mutates the pool.
 func (p *Pool) Check() (CheckReport, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("check"); err != nil {
 		return CheckReport{}, err
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	var r CheckReport
 	off := p.heapOff
 	for off < uint64(p.size) {

@@ -1,0 +1,314 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentTxDisjointObjects exercises the multi-lane transaction
+// machinery: many goroutines each own one object and run transactional
+// updates over it in parallel. Every committed value must be durable on
+// media (no lost updates), and the commit counter must account for
+// every transaction.
+func TestConcurrentTxDisjointObjects(t *testing.T) {
+	p, r := createPool(t)
+	const (
+		workers = 2 * TxLanes // oversubscribe the lanes so Begin blocks
+		rounds  = 25
+		objSize = 256
+	)
+	oids := make([]OID, workers)
+	for i := range oids {
+		var err error
+		if oids[i], err = p.Alloc(objSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := p.Update(oids[w], 0, objSize, func(v []byte) error {
+					binary.LittleEndian.PutUint64(v, uint64(w)<<32|uint64(i))
+					for j := 8; j < len(v); j++ {
+						v[j] = byte(w + i)
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d round %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().TxCommits.Load(); got != workers*rounds {
+		t.Errorf("TxCommits = %d, want %d", got, workers*rounds)
+	}
+	// Every object's final value must have reached the media, not just
+	// the view: read through the region directly.
+	for w, oid := range oids {
+		buf := make([]byte, objSize)
+		if err := r.ReadAt(buf, int64(oid.Off)); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(w)<<32 | uint64(rounds-1)
+		if got := binary.LittleEndian.Uint64(buf); got != want {
+			t.Errorf("worker %d: media value %#x, want %#x (lost update)", w, got, want)
+		}
+		for j := 8; j < objSize; j++ {
+			if buf[j] != byte(w+rounds-1) {
+				t.Fatalf("worker %d: media byte %d = %#x, want %#x", w, j, buf[j], byte(w+rounds-1))
+			}
+		}
+	}
+}
+
+// TestConcurrentAllocFree hammers the allocator from many goroutines;
+// the per-pool allocator lock must keep the heap walkable and the
+// alloc/free counters exact.
+func TestConcurrentAllocFree(t *testing.T) {
+	p, _ := createPool(t)
+	const workers, rounds = 8, 40
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				oid, err := p.Alloc(64 + uint64(w)*32)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := p.Free(oid); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().Allocs.Load(); got != workers*rounds {
+		t.Errorf("Allocs = %d, want %d", got, workers*rounds)
+	}
+	if _, err := p.Check(); err != nil {
+		t.Errorf("heap corrupt after concurrent alloc/free: %v", err)
+	}
+}
+
+// TestMultiLaneCrashRecovery tears several concurrent transactions at
+// once: three transactions on three lanes snapshot disjoint objects,
+// push torn data to the media, and the pool crashes before any of them
+// commits. Reopening must roll every lane back independently.
+func TestMultiLaneCrashRecovery(t *testing.T) {
+	p, r := createPool(t)
+	const n = 3
+	oids := make([]OID, n)
+	for i := range oids {
+		var err error
+		if oids[i], err = p.Alloc(64); err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.View(oids[i], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(v, fmt.Sprintf("stable-%d", i))
+		if err := p.Persist(oids[i], 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.AddRange(oids[i], 0, 64); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := p.View(oids[i], 64)
+		copy(v, fmt.Sprintf("torn!!-%d", i))
+		if err := p.Persist(oids[i], 64); err != nil {
+			t.Fatal(err)
+		}
+		// The transaction stays open: its lane is active at the crash.
+	}
+	p.SimulateCrash()
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oids {
+		v, err := p2.View(oids[i], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("stable-%d", i)
+		if string(v[:len(want)]) != want {
+			t.Errorf("object %d after multi-lane recovery = %q, want %q", i, v[:len(want)], want)
+		}
+	}
+}
+
+// TestCommittedLaneSurvivesCrashNextToTornLane checks lane independence
+// in the other direction: a committed transaction's data must survive
+// recovery even when a different lane was torn by the same crash.
+func TestCommittedLaneSurvivesCrashNextToTornLane(t *testing.T) {
+	p, r := createPool(t)
+	committed, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func(oid OID, s string) {
+		v, err := p.View(oid, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(v, s)
+		if err := p.Persist(oid, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed(committed, "old-committed")
+	seed(torn, "old-torn")
+
+	txTorn, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txTorn.AddRange(torn, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	seed(torn, "mid-torn")
+
+	// A full transaction commits on another lane while the first stays
+	// open.
+	if err := p.Update(committed, 0, 64, func(v []byte) error {
+		copy(v, "new-committed")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.SimulateCrash()
+
+	p2, err := Open(r, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p2.View(committed, 64)
+	if string(v[:13]) != "new-committed" {
+		t.Errorf("committed lane rolled back: %q", v[:13])
+	}
+	v, _ = p2.View(torn, 64)
+	if string(v[:8]) != "old-torn" {
+		t.Errorf("torn lane not rolled back: %q", v[:8])
+	}
+}
+
+// TestCrashReleasesLanes guards the lane lease protocol: transactions
+// stranded by a crash must hand their lanes back when their
+// Commit/Abort fails, or a later Begin would block forever on the
+// empty lane channel.
+func TestCrashReleasesLanes(t *testing.T) {
+	p, _ := createPool(t)
+	txs := make([]*Tx, TxLanes)
+	for i := range txs {
+		var err error
+		if txs[i], err = p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SimulateCrash()
+	for _, tx := range txs {
+		if err := tx.Commit(); err == nil {
+			t.Fatal("commit on crashed pool succeeded")
+		}
+	}
+	if got := len(p.lanes); got != TxLanes {
+		t.Errorf("free lanes after crash = %d, want %d (lane lease leaked)", got, TxLanes)
+	}
+	if got := p.activeTx.Load(); got != 0 {
+		t.Errorf("activeTx after crash = %d, want 0", got)
+	}
+}
+
+// failingRegion wraps a Region and starts failing writes on demand —
+// an I/O fault mid-operation, not a power loss.
+type failingRegion struct {
+	Region
+	fail atomic.Bool
+}
+
+func (r *failingRegion) WriteAt(p []byte, off int64) error {
+	if r.fail.Load() {
+		return errors.New("media I/O failure")
+	}
+	return r.Region.WriteAt(p, off)
+}
+
+// TestAbortIOFailureRetiresLane: when Abort itself hits an I/O error,
+// the lane's undo entries are the only copy of the pre-transaction
+// state — the lane must be retired (never reissued), the transaction
+// must count as finished, and the pool must keep working on the
+// remaining lanes.
+func TestAbortIOFailureRetiresLane(t *testing.T) {
+	inner := newMemRegion(testPoolSize, true)
+	fr := &failingRegion{Region: inner}
+	p, err := Create(fr, "stream-arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddRange(oid, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	fr.fail.Store(true)
+	if err := tx.Abort(); err == nil {
+		t.Fatal("abort with failing media succeeded")
+	}
+	fr.fail.Store(false)
+	if !tx.done {
+		t.Error("failed abort left the transaction open")
+	}
+	if got := p.lanesLost.Load(); got != 1 {
+		t.Errorf("lanesLost = %d, want 1", got)
+	}
+	if got := len(p.lanes); got != TxLanes-1 {
+		t.Errorf("free lanes = %d, want %d (retired lane must not recirculate)", got, TxLanes-1)
+	}
+	// The pool still serves transactions on the remaining lanes.
+	if err := p.Update(oid, 0, 64, func(v []byte) error { v[0] = 7; return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,11 +17,13 @@ type ObjectInfo struct {
 
 // Objects returns every live allocation in ascending address order.
 func (p *Pool) Objects() ([]ObjectInfo, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("objects"); err != nil {
 		return nil, err
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	var out []ObjectInfo
 	off := p.heapOff
 	for off < uint64(p.size) {

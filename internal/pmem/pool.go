@@ -14,6 +14,16 @@
 // and, when the media is volatile, the region too — which is exactly the
 // difference between the paper's DRAM-emulated PMem and the
 // battery-backed CXL module.
+//
+// Concurrency model (see DESIGN.md §Concurrency). The pool is safe for
+// concurrent use by many goroutines: the allocator is serialised behind
+// its own lock, the undo log is carved into TxLanes independent lanes so
+// up to TxLanes transactions run and commit concurrently, and lifecycle
+// (Close/SimulateCrash) excludes in-flight operations through a
+// read-write state lock. Callers keep single-writer semantics per
+// object: two goroutines may run transactions on disjoint objects in
+// parallel, but one object has at most one writer at a time, exactly as
+// PMDK scopes transactions per thread.
 package pmem
 
 import (
@@ -25,6 +35,7 @@ import (
 )
 
 // Region is the byte store a pool sits on (pmemfs.File satisfies this).
+// Implementations must be safe for concurrent use.
 type Region interface {
 	ReadAt(p []byte, off int64) error
 	WriteAt(p []byte, off int64) error
@@ -36,12 +47,22 @@ type Region interface {
 const (
 	// Magic identifies a pool ("pmemobj_create" writes PMDK's; ours).
 	Magic = "GOPMEMOBJ\x01"
-	// Version of the on-media format.
-	Version = 1
+	// Version of the on-media format. Version 2 splits the undo log
+	// into TxLanes independent lanes.
+	Version = 2
 	// headerSize reserves the first block for the pool header.
 	headerSize = 512
-	// DefaultLogSize is the undo-log region size.
-	DefaultLogSize = 256 << 10
+	// DefaultLogSize is the undo-log region size, shared by all lanes.
+	// Grown from the v1 format's 256 KiB when the log was carved into
+	// lanes (while keeping 1 MiB regions poolable), so one transaction
+	// still snapshots up to DefaultLogSize/TxLanes = 96 KiB; v1
+	// allowed ~256 KiB for its single transaction, and callers with
+	// larger transactional state must check TxSnapshotLimit at setup
+	// time, as solver.NewESRState does.
+	DefaultLogSize = 768 << 10
+	// TxLanes is the number of independent undo-log lanes and therefore
+	// the number of transactions that may be in flight concurrently.
+	TxLanes = 8
 	// MinPoolSize is the smallest usable pool.
 	MinPoolSize = headerSize + DefaultLogSize + heapAlign + blockHeaderSize + 64
 	// MaxLayoutName bounds the layout string (PMDK: 1024; we use 64).
@@ -87,25 +108,42 @@ type Stats struct {
 	Frees        atomic.Int64
 }
 
-// Pool is an open persistent object pool.
+// Pool is an open persistent object pool, safe for concurrent use (see
+// the package comment for the concurrency model).
 type Pool struct {
-	mu     sync.Mutex
 	region Region
-	view   []byte
 	layout string
 	poolID uint64
 	size   int64
 
-	logOff, logSize   uint64
-	heapOff           uint64
-	rootOff, rootSize uint64
+	// Geometry, immutable after Create/Open.
+	logOff, logSize uint64
+	heapOff         uint64
 
-	heap  *heap
-	tx    *Tx // active transaction, if any
-	stats Stats
-
+	// stateMu guards lifecycle (closed/crashed, the view mapping).
+	// Every data-path operation holds it for read; Close and
+	// SimulateCrash hold it for write, excluding all traffic.
+	stateMu sync.RWMutex
+	view    []byte
 	closed  bool
 	crashed bool
+
+	// heapMu serialises the allocator and the header fields it owns
+	// (rootOff/rootSize). Always acquired after stateMu.
+	heapMu            sync.Mutex
+	heap              *heap
+	rootOff, rootSize uint64
+
+	// lanes hands out free undo-log lanes; Begin blocks when all
+	// TxLanes are in flight. activeTx counts open transactions so
+	// Close can refuse while one is live. lanesLost counts lanes
+	// permanently retired after I/O failures mid-Abort (their undo
+	// entries must survive for recovery, so they are never reissued).
+	lanes     chan uint64
+	activeTx  atomic.Int32
+	lanesLost atomic.Int32
+
+	stats Stats
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -119,6 +157,14 @@ type PoolError struct {
 
 func (e *PoolError) Error() string {
 	return fmt.Sprintf("pmem: %s(%q): %s", e.Op, e.Layout, e.Why)
+}
+
+// fillLanes populates the lane free list; called once at Create/Open.
+func (p *Pool) fillLanes() {
+	p.lanes = make(chan uint64, TxLanes)
+	for i := uint64(0); i < TxLanes; i++ {
+		p.lanes <- i
+	}
 }
 
 // Create initialises a new pool with the given layout name on region,
@@ -164,6 +210,7 @@ func Create(region Region, layout string) (*Pool, error) {
 	if err := p.persistRaw(0, headerSize); err != nil {
 		return nil, err
 	}
+	p.fillLanes()
 	return p, nil
 }
 
@@ -210,6 +257,9 @@ func Open(region Region, layout string) (*Pool, error) {
 		rootSize: binary.LittleEndian.Uint64(hdr[hdrRootSize:]),
 		poolID:   binary.LittleEndian.Uint64(hdr[hdrPoolID:]),
 	}
+	if p.logSize < TxLanes*laneHeaderSize || p.logSize%TxLanes != 0 {
+		return nil, &PoolError{Op: "open", Layout: layout, Why: "undo log size not divisible into lanes"}
+	}
 	// Map the view with a single media scan (over a CXL region this is
 	// the dominant open cost — one burst-path read of the whole pool),
 	// then run undo-log recovery from the in-memory image: the log
@@ -229,6 +279,7 @@ func Open(region Region, layout string) (*Pool, error) {
 	if err := p.heap.rebuild(); err != nil {
 		return nil, err
 	}
+	p.fillLanes()
 	return p, nil
 }
 
@@ -245,6 +296,8 @@ func CreateOrOpen(region Region, layout string) (*Pool, error) {
 	return nil, err
 }
 
+// writeHeader renders the header into the view; callers hold heapMu (or
+// are in single-threaded setup) since rootOff/rootSize live there.
 func (p *Pool) writeHeader() {
 	hdr := p.view[:headerSize]
 	for i := range hdr {
@@ -278,6 +331,8 @@ func (p *Pool) Persistent() bool { return p.region.Persistent() }
 // Stats exposes persistence counters.
 func (p *Pool) Stats() *Stats { return &p.stats }
 
+// checkLive reports lifecycle failures; callers hold stateMu (read or
+// write).
 func (p *Pool) checkLive(op string) error {
 	if p.closed {
 		return &PoolError{Op: op, Layout: p.layout, Why: "pool closed"}
@@ -288,6 +343,7 @@ func (p *Pool) checkLive(op string) error {
 	return nil
 }
 
+// checkOID validates an OID against the immutable pool geometry.
 func (p *Pool) checkOID(op string, oid OID, n uint64) error {
 	if oid.PoolID != p.poolID {
 		return &PoolError{Op: op, Layout: p.layout, Why: fmt.Sprintf("%v belongs to another pool", oid)}
@@ -300,10 +356,11 @@ func (p *Pool) checkOID(op string, oid OID, n uint64) error {
 
 // View returns the mapped bytes of an object: direct load/store access,
 // the pmemobj_direct analogue. The slice aliases pool memory; writes to
-// it are volatile until persisted.
+// it are volatile until persisted. Concurrent writers of one object
+// must coordinate among themselves (single-writer per object).
 func (p *Pool) View(oid OID, n uint64) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("view"); err != nil {
 		return nil, err
 	}
@@ -316,8 +373,8 @@ func (p *Pool) View(oid OID, n uint64) ([]byte, error) {
 // Persist flushes [oid, oid+n) from the view to the media — clwb over
 // the range. It does not imply ordering; call Drain for the fence.
 func (p *Pool) Persist(oid OID, n uint64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("persist"); err != nil {
 		return err
 	}
@@ -327,8 +384,9 @@ func (p *Pool) Persist(oid OID, n uint64) error {
 	return p.persistRaw(int64(oid.Off), int64(n))
 }
 
-// persistRaw flushes a raw pool range; caller holds the lock or is in
-// single-threaded setup.
+// persistRaw flushes a raw pool range; callers hold stateMu for read
+// (so the view cannot vanish mid-flush) or are in single-threaded
+// setup. Disjoint ranges flush concurrently.
 func (p *Pool) persistRaw(off, n int64) error {
 	if err := p.region.WriteAt(p.view[off:off+n], off); err != nil {
 		return err
@@ -349,14 +407,16 @@ func (p *Pool) Drain() {
 // Root returns the root object, allocating it with the given size on
 // first use (pmemobj_root). The size must match on subsequent calls.
 func (p *Pool) Root(size uint64) (OID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("root"); err != nil {
 		return OID{}, err
 	}
 	if size == 0 {
 		return OID{}, &PoolError{Op: "root", Layout: p.layout, Why: "zero size"}
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	if p.rootOff != 0 {
 		if size != p.rootSize {
 			return OID{}, &PoolError{Op: "root", Layout: p.layout, Why: fmt.Sprintf("root exists with size %d, requested %d", p.rootSize, size)}
@@ -380,14 +440,16 @@ func (p *Pool) Root(size uint64) (OID, error) {
 // line 7). The data offset is 64-byte aligned, so Float64s views are
 // always correctly aligned.
 func (p *Pool) Alloc(n uint64) (OID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("alloc"); err != nil {
 		return OID{}, err
 	}
 	if n == 0 {
 		return OID{}, &PoolError{Op: "alloc", Layout: p.layout, Why: "zero size"}
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	off, err := p.heap.alloc(n)
 	if err != nil {
 		return OID{}, err
@@ -398,14 +460,16 @@ func (p *Pool) Alloc(n uint64) (OID, error) {
 
 // Free releases an object.
 func (p *Pool) Free(oid OID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("free"); err != nil {
 		return err
 	}
 	if err := p.checkOID("free", oid, 0); err != nil {
 		return err
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	if oid.Off == p.rootOff {
 		return &PoolError{Op: "free", Layout: p.layout, Why: "cannot free the root object"}
 	}
@@ -418,26 +482,28 @@ func (p *Pool) Free(oid OID) error {
 
 // AllocSize returns the usable size of an allocated object.
 func (p *Pool) AllocSize(oid OID) (uint64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("allocsize"); err != nil {
 		return 0, err
 	}
 	if err := p.checkOID("allocsize", oid, 0); err != nil {
 		return 0, err
 	}
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
 	return p.heap.userSize(oid.Off)
 }
 
 // Close flushes the header and detaches the view. Objects not persisted
 // are lost, as with a real mapping.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	if p.closed {
 		return &PoolError{Op: "close", Layout: p.layout, Why: "already closed"}
 	}
-	if p.tx != nil {
+	if p.activeTx.Load() != 0 && !p.crashed {
 		return &PoolError{Op: "close", Layout: p.layout, Why: "transaction in flight"}
 	}
 	p.closed = true
@@ -450,11 +516,10 @@ func (p *Pool) Close() error {
 // becomes unusable; Open the region again to run recovery. The
 // PowerCycler interface lets device-backed regions participate.
 func (p *Pool) SimulateCrash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	p.crashed = true
 	p.view = nil
-	p.tx = nil
 	if pc, ok := p.region.(PowerCycler); ok {
 		pc.PowerCycle()
 	}

@@ -22,7 +22,17 @@ import (
 //  4. Recovery (pool Open) finds a valid, non-empty log and applies the
 //     snapshots back onto the media: the transaction never happened.
 //
-// Log layout inside [logOff, logOff+logSize):
+// Concurrency. The log region [logOff, logOff+logSize) is carved into
+// TxLanes equal lanes, one per in-flight transaction — the multi-lane
+// analogue of PMDK's per-thread transaction scopes. Begin claims a free
+// lane (blocking when all are busy), AddRange/Commit/Abort touch only
+// that lane, and recovery walks every lane: any subset of transactions
+// torn by a crash rolls back independently. Transactions on disjoint
+// objects therefore run and commit fully in parallel; single-writer
+// semantics per object remain the caller's contract (two goroutines
+// must not transact over the same object concurrently).
+//
+// Lane layout inside [laneBase, laneBase+laneSize):
 //
 //	0:4   state: 0 = idle, 1 = active
 //	4:8   entry count (u32)
@@ -30,9 +40,10 @@ import (
 //
 // entry: [off u64][len u64][crc u32][pad u32][data ...] padded to 8.
 const (
-	logState   = 0
-	logCount   = 4
-	logEntries = 8
+	logState = 0
+	logCount = 4
+	// laneHeaderSize is the per-lane control block; entries follow.
+	laneHeaderSize = 8
 
 	logIdle   uint32 = 0
 	logActive uint32 = 1
@@ -48,12 +59,13 @@ type TxError struct {
 
 func (e *TxError) Error() string { return fmt.Sprintf("pmem: tx %s: %s", e.Op, e.Why) }
 
-// Tx is an open transaction. A pool admits one transaction at a time
-// (PMDK scopes them per-thread; the paper's workloads are one tx at a
-// time per pool).
+// Tx is an open transaction bound to one undo-log lane. A Tx is owned
+// by the goroutine that began it; its methods must not be called
+// concurrently (PMDK scopes transactions per-thread the same way).
 type Tx struct {
 	p      *Pool
-	cursor uint64 // next free byte in the log, relative to logOff
+	lane   uint64 // lane index in [0, TxLanes)
+	cursor uint64 // next free byte in the lane, relative to lane base
 	count  uint32 // entries written
 	ranges []txRange
 	done   bool
@@ -64,37 +76,84 @@ type txRange struct {
 	n   uint64
 }
 
-// Begin opens a transaction (TX_BEGIN).
+// laneSize is the per-lane byte budget.
+func (p *Pool) laneSize() uint64 { return p.logSize / TxLanes }
+
+// TxSnapshotLimit reports the largest single range one AddRange call
+// can snapshot in this pool (the lane budget minus lane and entry
+// headers). Callers that persist large state blobs transactionally
+// should validate against it at setup time rather than discover a
+// full lane at Save time.
+func (p *Pool) TxSnapshotLimit() uint64 {
+	return (p.laneSize() - laneHeaderSize - entryHeaderSize) &^ 7
+}
+
+// laneBase is the absolute offset of a lane's control block.
+func (p *Pool) laneBase(lane uint64) uint64 { return p.logOff + lane*p.laneSize() }
+
+// Begin opens a transaction (TX_BEGIN), claiming a free undo-log lane.
+// When all TxLanes lanes carry in-flight transactions, Begin blocks
+// until one commits or aborts.
 func (p *Pool) Begin() (*Tx, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	err := p.checkLive("tx-begin")
+	p.stateMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.lanesLost.Load() >= TxLanes {
+		return nil, &TxError{Op: "begin", Why: "all undo-log lanes lost to I/O failures; reopen the pool to recover"}
+	}
+	lane := <-p.lanes
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("tx-begin"); err != nil {
+		p.lanes <- lane
 		return nil, err
 	}
-	if p.tx != nil {
-		return nil, &TxError{Op: "begin", Why: "transaction already in flight"}
-	}
-	tx := &Tx{p: p, cursor: logEntries}
-	// Mark the log active on media before any entry lands.
-	if err := p.logWrite32(logState, logActive); err != nil {
+	tx := &Tx{p: p, lane: lane, cursor: laneHeaderSize}
+	// Mark the lane active on media before any entry lands.
+	if err := p.laneWrite32(lane, logState, logActive); err != nil {
+		p.lanes <- lane
 		return nil, err
 	}
-	if err := p.logWrite32(logCount, 0); err != nil {
+	if err := p.laneWrite32(lane, logCount, 0); err != nil {
+		p.lanes <- lane
 		return nil, err
 	}
-	p.tx = tx
+	p.activeTx.Add(1)
 	return tx, nil
+}
+
+// release returns the transaction's lane to the free list; called once
+// per Tx, when it finishes cleanly or the pool is dead.
+func (tx *Tx) release() {
+	tx.done = true
+	tx.p.activeTx.Add(-1)
+	tx.p.lanes <- tx.lane
+}
+
+// abandon retires the transaction WITHOUT recycling its lane: after an
+// I/O failure mid-Abort the lane's on-media undo entries are the only
+// copy of the pre-transaction state, so the lane must stay out of
+// circulation (a new transaction claiming it would overwrite them)
+// until recovery at the next Open replays it. Each abandonment
+// permanently costs one lane; Begin reports when none remain.
+func (tx *Tx) abandon() {
+	tx.done = true
+	tx.p.activeTx.Add(-1)
+	tx.p.lanesLost.Add(1)
 }
 
 // AddRange snapshots [oid.Off+off, +n) so it can be rolled back
 // (pmemobj_tx_add_range). Must be called before mutating the range.
 func (tx *Tx) AddRange(oid OID, off, n uint64) error {
 	p := tx.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if tx.done {
 		return &TxError{Op: "add-range", Why: "transaction finished"}
 	}
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("tx-add"); err != nil {
 		return err
 	}
@@ -107,8 +166,8 @@ func (tx *Tx) AddRange(oid OID, off, n uint64) error {
 	start := oid.Off + off
 	padded := alignUp64(n, 8)
 	need := entryHeaderSize + padded
-	if tx.cursor+need > p.logSize {
-		return &TxError{Op: "add-range", Why: "undo log full"}
+	if tx.cursor+need > p.laneSize() {
+		return &TxError{Op: "add-range", Why: "undo log lane full"}
 	}
 	// Snapshot MEDIA content (the pre-transaction persistent state),
 	// not the view: rollback must restore what recovery would see.
@@ -121,13 +180,13 @@ func (tx *Tx) AddRange(oid OID, off, n uint64) error {
 	binary.LittleEndian.PutUint64(entry[8:], n)
 	binary.LittleEndian.PutUint32(entry[16:], crc32.Checksum(snap[:n], crcTable))
 	copy(entry[entryHeaderSize:], snap)
-	if err := p.region.WriteAt(entry, int64(p.logOff+tx.cursor)); err != nil {
+	if err := p.region.WriteAt(entry, int64(p.laneBase(tx.lane)+tx.cursor)); err != nil {
 		return err
 	}
 	// Entry persisted; only then bump the count (the recovery fence).
 	tx.cursor += need
 	tx.count++
-	if err := p.logWrite32(logCount, tx.count); err != nil {
+	if err := p.laneWrite32(tx.lane, logCount, tx.count); err != nil {
 		return err
 	}
 	tx.ranges = append(tx.ranges, txRange{off: start, n: n})
@@ -136,15 +195,23 @@ func (tx *Tx) AddRange(oid OID, off, n uint64) error {
 	return nil
 }
 
-// Commit persists every added range and retires the log (TX_COMMIT).
+// Commit persists every added range and retires the lane (TX_COMMIT).
+// On an I/O failure before the commit point the transaction stays
+// open — nothing committed, the lane still leased — and the caller's
+// recovery path is Abort, which rolls the media and view back.
 func (tx *Tx) Commit() error {
 	p := tx.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if tx.done {
 		return &TxError{Op: "commit", Why: "transaction finished"}
 	}
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("tx-commit"); err != nil {
+		// The pool is gone (closed or crashed): this transaction can
+		// never proceed, so its lane must not stay leased — a leaked
+		// lane would eventually deadlock Begin. Recovery at the next
+		// Open rolls the lane back.
+		tx.release()
 		return err
 	}
 	for _, r := range tx.ranges {
@@ -154,15 +221,15 @@ func (tx *Tx) Commit() error {
 	}
 	p.Drain()
 	// The commit point: a single 4-byte state write. Before it,
-	// recovery rolls back; after it, the new data is the truth.
-	if err := p.logWrite32(logState, logIdle); err != nil {
+	// recovery rolls this lane back; after it, the new data is the
+	// truth.
+	if err := p.laneWrite32(tx.lane, logState, logIdle); err != nil {
 		return err
 	}
-	if err := p.logWrite32(logCount, 0); err != nil {
+	if err := p.laneWrite32(tx.lane, logCount, 0); err != nil {
 		return err
 	}
-	tx.done = true
-	p.tx = nil
+	tx.release()
 	p.stats.TxCommits.Add(1)
 	return nil
 }
@@ -171,88 +238,96 @@ func (tx *Tx) Commit() error {
 // (TX_ABORT).
 func (tx *Tx) Abort() error {
 	p := tx.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if tx.done {
 		return &TxError{Op: "abort", Why: "transaction finished"}
 	}
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	if err := p.checkLive("tx-abort"); err != nil {
+		// See Commit: a dead pool means the lane lease must be
+		// returned here, not leaked.
+		tx.release()
 		return err
 	}
-	if err := p.applyLog(); err != nil {
+	if err := p.replayLane(tx.lane, p.region.ReadAt); err != nil {
+		tx.abandon()
 		return err
 	}
 	// Refresh the view from the restored media.
 	for _, r := range tx.ranges {
 		if err := p.region.ReadAt(p.view[r.off:r.off+r.n], int64(r.off)); err != nil {
+			tx.abandon()
 			return err
 		}
 	}
-	if err := p.clearLog(); err != nil {
+	if err := p.clearLane(tx.lane); err != nil {
+		tx.abandon()
 		return err
 	}
-	tx.done = true
-	p.tx = nil
+	tx.release()
 	p.stats.TxAborts.Add(1)
 	return nil
 }
 
-// logWrite32 writes one log control word straight to media.
-func (p *Pool) logWrite32(off uint64, v uint32) error {
+// laneWrite32 writes one lane control word straight to media.
+func (p *Pool) laneWrite32(lane, off uint64, v uint32) error {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
-	return p.region.WriteAt(b[:], int64(p.logOff+off))
+	return p.region.WriteAt(b[:], int64(p.laneBase(lane)+off))
 }
 
-func (p *Pool) logRead32(off uint64) (uint32, error) {
-	var b [4]byte
-	if err := p.region.ReadAt(b[:], int64(p.logOff+off)); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
-}
-
-// clearLog marks the log idle on media.
-func (p *Pool) clearLog() error {
-	if err := p.logWrite32(logState, logIdle); err != nil {
+// clearLane marks one lane idle on media.
+func (p *Pool) clearLane(lane uint64) error {
+	if err := p.laneWrite32(lane, logState, logIdle); err != nil {
 		return err
 	}
-	return p.logWrite32(logCount, 0)
+	return p.laneWrite32(lane, logCount, 0)
 }
 
-// replayLog walks the undo log through readAt — the media for Abort,
-// the in-memory view for crash recovery at Open — validating each
-// entry's bounds and CRC, and writes every snapshot back onto the
+// clearLog marks every lane idle on media (pool creation / recovery).
+func (p *Pool) clearLog() error {
+	for lane := uint64(0); lane < TxLanes; lane++ {
+		if err := p.clearLane(lane); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayLane walks one undo-log lane through readAt — the media for
+// Abort, the in-memory view for crash recovery at Open — validating
+// each entry's bounds and CRC, and writes every snapshot back onto the
 // media (and the view, when one is mapped). One implementation of the
 // entry format serves both rollback paths.
-func (p *Pool) replayLog(readAt func(b []byte, off int64) error) error {
+func (p *Pool) replayLane(lane uint64, readAt func(b []byte, off int64) error) error {
+	base := p.laneBase(lane)
 	var cnt [4]byte
-	if err := readAt(cnt[:], int64(p.logOff+logCount)); err != nil {
+	if err := readAt(cnt[:], int64(base+logCount)); err != nil {
 		return err
 	}
 	count := binary.LittleEndian.Uint32(cnt[:])
-	cursor := uint64(logEntries)
+	cursor := uint64(laneHeaderSize)
 	for i := uint32(0); i < count; i++ {
-		if cursor+entryHeaderSize > p.logSize {
-			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d malformed", i)}
+		if cursor+entryHeaderSize > p.laneSize() {
+			return &TxError{Op: "recover", Why: fmt.Sprintf("lane %d entry %d malformed", lane, i)}
 		}
 		hdr := make([]byte, entryHeaderSize)
-		if err := readAt(hdr, int64(p.logOff+cursor)); err != nil {
+		if err := readAt(hdr, int64(base+cursor)); err != nil {
 			return err
 		}
 		off := binary.LittleEndian.Uint64(hdr[0:])
 		n := binary.LittleEndian.Uint64(hdr[8:])
 		wantCRC := binary.LittleEndian.Uint32(hdr[16:])
 		padded := alignUp64(n, 8)
-		if off+n > uint64(p.size) || cursor+entryHeaderSize+padded > p.logSize {
-			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d malformed", i)}
+		if off+n > uint64(p.size) || cursor+entryHeaderSize+padded > p.laneSize() {
+			return &TxError{Op: "recover", Why: fmt.Sprintf("lane %d entry %d malformed", lane, i)}
 		}
 		data := make([]byte, padded)
-		if err := readAt(data, int64(p.logOff+cursor+entryHeaderSize)); err != nil {
+		if err := readAt(data, int64(base+cursor+entryHeaderSize)); err != nil {
 			return err
 		}
 		if crc32.Checksum(data[:n], crcTable) != wantCRC {
-			return &TxError{Op: "recover", Why: fmt.Sprintf("log entry %d checksum mismatch", i)}
+			return &TxError{Op: "recover", Why: fmt.Sprintf("lane %d entry %d checksum mismatch", lane, i)}
 		}
 		if err := p.region.WriteAt(data[:n], int64(off)); err != nil {
 			return err
@@ -265,43 +340,41 @@ func (p *Pool) replayLog(readAt func(b []byte, off int64) error) error {
 	return nil
 }
 
-// applyLog replays undo entries from the media onto the media
-// (rollback during Abort).
-func (p *Pool) applyLog() error {
-	return p.replayLog(p.region.ReadAt)
-}
-
 // recoverLogFromView runs at Open, after the pool image has been read
-// into the view with a single media scan: a log left active by a crash
-// is parsed out of the in-memory image (identical to what a media read
-// would return, since log writes always go straight to the media) and
-// its snapshots are applied to both the media and the view. Transaction
-// ranges live in the heap and the log in its own region, so an entry's
-// data and its restore target never overlap.
+// into the view with a single media scan: every lane left active by a
+// crash is parsed out of the in-memory image (identical to what a media
+// read would return, since log writes always go straight to the media)
+// and its snapshots are applied to both the media and the view.
+// Transaction ranges live in the heap and the log in its own region, so
+// an entry's data and its restore target never overlap.
 func (p *Pool) recoverLogFromView() error {
-	log := p.view[p.logOff : p.logOff+p.logSize]
-	if binary.LittleEndian.Uint32(log[logState:]) != logActive {
-		return nil
-	}
 	viewRead := func(b []byte, off int64) error {
 		copy(b, p.view[off:])
 		return nil
 	}
-	if err := p.replayLog(viewRead); err != nil {
-		return err
+	for lane := uint64(0); lane < TxLanes; lane++ {
+		base := p.laneBase(lane)
+		laneHdr := p.view[base : base+laneHeaderSize]
+		if binary.LittleEndian.Uint32(laneHdr[logState:]) != logActive {
+			continue
+		}
+		if err := p.replayLane(lane, viewRead); err != nil {
+			return err
+		}
+		if err := p.clearLane(lane); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(laneHdr[logState:], logIdle)
+		binary.LittleEndian.PutUint32(laneHdr[logCount:], 0)
 	}
-	if err := p.clearLog(); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint32(log[logState:], logIdle)
-	binary.LittleEndian.PutUint32(log[logCount:], 0)
 	return nil
 }
 
 // Update runs fn inside a transaction over the given range: the range
 // is snapshotted, fn mutates the returned view slice, and the change
 // commits atomically. Any error aborts. This is the TX_BEGIN/TX_ADD/
-// TX_END convenience macro.
+// TX_END convenience macro. Updates over disjoint objects may run
+// concurrently from many goroutines.
 func (p *Pool) Update(oid OID, off, n uint64, fn func(view []byte) error) error {
 	tx, err := p.Begin()
 	if err != nil {

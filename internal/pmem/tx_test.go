@@ -3,6 +3,7 @@ package pmem
 import (
 	"bytes"
 	"encoding/binary"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -109,14 +110,33 @@ func TestTxAbortRestoresViewAndMedia(t *testing.T) {
 	}
 }
 
-func TestTxSingleFlight(t *testing.T) {
+func TestTxLanesAndFinishedTxRejected(t *testing.T) {
 	p, _ := createPool(t)
 	tx, err := p.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Begin(); err == nil {
-		t.Error("second concurrent transaction accepted")
+	// Up to TxLanes transactions may be in flight concurrently, each on
+	// its own undo-log lane.
+	others := make([]*Tx, 0, TxLanes-1)
+	for i := 1; i < TxLanes; i++ {
+		tx2, err := p.Begin()
+		if err != nil {
+			t.Fatalf("concurrent transaction %d rejected: %v", i, err)
+		}
+		others = append(others, tx2)
+	}
+	seen := map[uint64]bool{tx.lane: true}
+	for _, tx2 := range others {
+		if seen[tx2.lane] {
+			t.Fatalf("lane %d handed out twice", tx2.lane)
+		}
+		seen[tx2.lane] = true
+	}
+	for _, tx2 := range others {
+		if err := tx2.Abort(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
@@ -434,14 +454,16 @@ func TestTxAtomicityProperty(t *testing.T) {
 	}
 }
 
-// countingRegion wraps a Region and counts bytes read through it.
+// countingRegion wraps a Region and counts bytes read through it. The
+// counter is atomic: regions are shared by concurrent transactions, so
+// a plain int64 here would trip the race job.
 type countingRegion struct {
 	inner     Region
-	bytesRead int64
+	bytesRead atomic.Int64
 }
 
 func (c *countingRegion) ReadAt(p []byte, off int64) error {
-	c.bytesRead += int64(len(p))
+	c.bytesRead.Add(int64(len(p)))
 	return c.inner.ReadAt(p, off)
 }
 func (c *countingRegion) WriteAt(p []byte, off int64) error { return c.inner.WriteAt(p, off) }
@@ -485,7 +507,7 @@ func TestOpenSingleMediaScan(t *testing.T) {
 	if string(got[:9]) != "old-value" {
 		t.Errorf("recovery result = %q, want old-value", got[:9])
 	}
-	if max := int64(testPoolSize) + headerSize; cr.bytesRead > max {
-		t.Errorf("Open read %d bytes, want <= %d (single media scan)", cr.bytesRead, max)
+	if max := int64(testPoolSize) + headerSize; cr.bytesRead.Load() > max {
+		t.Errorf("Open read %d bytes, want <= %d (single media scan)", cr.bytesRead.Load(), max)
 	}
 }

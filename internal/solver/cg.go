@@ -127,6 +127,12 @@ func NewESRState(pool *pmem.Pool, n int) (*ESRState, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("solver: esr state for n=%d", n)
 	}
+	// Save snapshots the whole state in one transactional range; fail
+	// here, at setup, rather than at the first Save if it cannot fit
+	// the pool's undo-log lane budget.
+	if limit := pool.TxSnapshotLimit(); cgStateSize(n) > limit {
+		return nil, fmt.Errorf("solver: esr state for n=%d needs %d bytes, above the pool's %d-byte transaction snapshot limit", n, cgStateSize(n), limit)
+	}
 	root, err := pool.Root(16)
 	if err != nil {
 		return nil, err

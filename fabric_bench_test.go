@@ -1,0 +1,92 @@
+// Fabric-manager benchmarks: the control-plane costs of dynamic
+// capacity. BenchmarkFabricRebalance is in the tier-1 tracked set of
+// the CI bench-regression gate; BenchmarkFabricGrowShrink supplies the
+// grow/shrink latency figures quoted in EXPERIMENTS.md.
+package cxlpmem
+
+import (
+	"testing"
+
+	"cxlpmem/internal/cluster"
+	"cxlpmem/internal/units"
+)
+
+// benchElastic assembles the benchmark fabric: 4 tenants on a 32 MiB
+// pool, 4 MiB starting capacity each, 1 MiB granule.
+func benchElastic(b *testing.B) *cluster.Elastic {
+	b.Helper()
+	e, err := cluster.NewElastic(cluster.ElasticConfig{
+		Hosts:   4,
+		Pool:    32 * units.MiB,
+		Quota:   16 * units.MiB,
+		Initial: 4 * units.MiB,
+		Granule: units.MiB,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFabricRebalance measures one full capacity rebalance: 4 MiB
+// moves from one tenant to another through the complete control plane
+// — release-request events, mailbox releases with scrub-on-free,
+// extent coalescing, re-grant, add-capacity events and mailbox
+// accepts. SetBytes reports rebalance throughput as capacity
+// reassigned per second.
+func BenchmarkFabricRebalance(b *testing.B) {
+	e := benchElastic(b)
+	targets := [2][]units.Size{
+		{8 * units.MiB, 4 * units.MiB, 2 * units.MiB, 2 * units.MiB},
+		{4 * units.MiB, 8 * units.MiB, 2 * units.MiB, 2 * units.MiB},
+	}
+	// Settle on the first layout so every timed iteration moves the
+	// same 4 MiB back and forth.
+	if err := e.Rebalance(targets[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * units.MiB))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Rebalance(targets[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricGrowShrink measures one grow+shrink round trip of a
+// single 1 MiB extent: grant, add-capacity event, mailbox accept,
+// release request, mailbox release, scrub, coalesce.
+func BenchmarkFabricGrowShrink(b *testing.B) {
+	e := benchElastic(b)
+	b.SetBytes(int64(units.MiB))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Grow(0, units.MiB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Shrink(0, units.MiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricDrive measures the data-plane cost of the elastic
+// path: maximal bursts through a root port against extent-mapped
+// tenant media, unthrottled (the QoS budget is the modelled hardware
+// pipeline, far above simulator speed).
+func BenchmarkFabricDrive(b *testing.B) {
+	e := benchElastic(b)
+	// Warm the path once.
+	if _, err := e.Drive(0, 256*units.KiB); err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 256 * units.KiB
+	b.SetBytes(int64(chunk))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Drive(0, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// QoS throttle. The appliance pipeline is a shared resource; without
+// enforcement one aggressive tenant can starve the rest (the memtier
+// problem: workloads drawing from a shared pool of memory controllers
+// need their draw rebalanced on demand). The throttle meters each
+// tenant's achieved bandwidth from its device's memdev.Stats counters
+// — the same counters the data path already maintains, so metering
+// adds nothing to the hot path — and paces tenants that run ahead of
+// their share of the pipeline.
+
+// Throttle enforces per-tenant bandwidth shares of a total budget.
+// Safe for concurrent use: each tenant's pacing decision reads its own
+// stats counters (atomics) plus the registry under a short lock; the
+// sleep happens outside.
+type Throttle struct {
+	total units.Bandwidth
+
+	mu      sync.Mutex
+	tenants map[string]*tenantBudget
+}
+
+// tenantBudget tracks one tenant's share and metering epoch. Pacing is
+// computed from bytes moved since the epoch start; SetShare rebases the
+// epoch so a share change applies to future traffic, not retroactively.
+type tenantBudget struct {
+	share float64
+	stats *memdev.Stats
+	start time.Time
+	base  int64
+}
+
+// NewThrottle builds a throttle over a total pipeline budget.
+func NewThrottle(total units.Bandwidth) *Throttle {
+	return &Throttle{total: total, tenants: make(map[string]*tenantBudget)}
+}
+
+// Total reports the pipeline budget being shared.
+func (th *Throttle) Total() units.Bandwidth { return th.total }
+
+// Register adds a tenant metered by the given stats with a fractional
+// share of the total budget.
+func (th *Throttle) Register(name string, stats *memdev.Stats, share float64) error {
+	if stats == nil {
+		return fmt.Errorf("cluster: qos: %s: nil stats", name)
+	}
+	if share <= 0 || share > 1 {
+		return fmt.Errorf("cluster: qos: %s: share %v outside (0,1]", name, share)
+	}
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	if _, ok := th.tenants[name]; ok {
+		return fmt.Errorf("cluster: qos: %s already registered", name)
+	}
+	th.tenants[name] = &tenantBudget{
+		share: share,
+		stats: stats,
+		start: time.Now(),
+		base:  movedBytes(stats),
+	}
+	return nil
+}
+
+// SetShare changes a tenant's share and rebases its metering epoch, so
+// the new share governs traffic from now on.
+func (th *Throttle) SetShare(name string, share float64) error {
+	if share <= 0 || share > 1 {
+		return fmt.Errorf("cluster: qos: %s: share %v outside (0,1]", name, share)
+	}
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	b, ok := th.tenants[name]
+	if !ok {
+		return fmt.Errorf("cluster: qos: no tenant %s", name)
+	}
+	b.share = share
+	b.start = time.Now()
+	b.base = movedBytes(b.stats)
+	return nil
+}
+
+// Allowance reports a tenant's current bandwidth budget.
+func (th *Throttle) Allowance(name string) (units.Bandwidth, error) {
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	b, ok := th.tenants[name]
+	if !ok {
+		return 0, fmt.Errorf("cluster: qos: no tenant %s", name)
+	}
+	return units.Bandwidth(float64(th.total) * b.share), nil
+}
+
+// Measured reports a tenant's achieved bandwidth since its epoch start.
+func (th *Throttle) Measured(name string) (units.Bandwidth, error) {
+	th.mu.Lock()
+	b, ok := th.tenants[name]
+	th.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("cluster: qos: no tenant %s", name)
+	}
+	elapsed := time.Since(b.start)
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return units.RateOf(units.Size(movedBytes(b.stats)-b.base), elapsed), nil
+}
+
+// Pace blocks the calling tenant until its achieved bandwidth is back
+// inside its share of the budget, returning how long it slept. Call it
+// before each transfer unit (e.g. each burst): a tenant within budget
+// proceeds immediately; one running ahead sleeps exactly the deficit.
+func (th *Throttle) Pace(name string) (time.Duration, error) {
+	th.mu.Lock()
+	b, ok := th.tenants[name]
+	if !ok {
+		th.mu.Unlock()
+		return 0, fmt.Errorf("cluster: qos: no tenant %s", name)
+	}
+	allowed := float64(th.total) * b.share
+	moved := float64(movedBytes(b.stats) - b.base)
+	start := b.start
+	th.mu.Unlock()
+	if allowed <= 0 {
+		return 0, fmt.Errorf("cluster: qos: %s has no allowance", name)
+	}
+	ideal := time.Duration(moved / allowed * float64(time.Second))
+	sleep := ideal - time.Since(start)
+	if sleep <= 0 {
+		return 0, nil
+	}
+	time.Sleep(sleep)
+	return sleep, nil
+}
+
+// movedBytes sums a device's read and write byte counters.
+func movedBytes(s *memdev.Stats) int64 {
+	return s.BytesRead.Load() + s.BytesWrite.Load()
+}

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -323,5 +324,145 @@ func TestConcurrentPartitions(t *testing.T) {
 		if wrote != 50*4096 {
 			t.Errorf("partition %d wrote %d bytes, want %d", i, wrote, 50*4096)
 		}
+	}
+}
+
+// TestSwitchRebindDuringTraffic races the switch control plane
+// (Bind/Unbind/Rebind/EndpointFor/Bindings on spare vPPBs) against
+// CXL.mem traffic flowing through root ports whose endpoints were
+// resolved through the same switch. The routing snapshot must keep
+// lookups wait-free and consistent while bindings churn; the race
+// detector gates the whole interleaving on CI.
+func TestSwitchRebindDuringTraffic(t *testing.T) {
+	const hosts = 2
+	const spares = 2
+	const partSize = 1 << 20
+	media, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: "sw-dram", Rate: 3200, Channels: 1,
+		CapacityPerChannel: (hosts + spares) * partSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mld, err := NewMLD("sw-mld", media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch("sw0")
+	carve := func(name string) *LogicalDevice {
+		ld, err := mld.Carve(name, partSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ld.ProgramDecoder(&HDMDecoder{Base: 0, Size: partSize}); err != nil {
+			t.Fatal(err)
+		}
+		return ld
+	}
+	ports := make([]*RootPort, hosts)
+	for i := 0; i < hosts; i++ {
+		ld := carve("traffic-ld")
+		dsp := fmt.Sprintf("dsp-traffic%d", i)
+		if err := sw.AddDownstream(dsp, ld); err != nil {
+			t.Fatal(err)
+		}
+		vppb := fmt.Sprintf("host%d", i)
+		if err := sw.Bind(vppb, dsp); err != nil {
+			t.Fatal(err)
+		}
+		ep, ok := sw.EndpointFor(vppb)
+		if !ok {
+			t.Fatal("no endpoint after bind")
+		}
+		ports[i] = trainedPort(t, ep)
+	}
+	for i := 0; i < spares; i++ {
+		if err := sw.AddDownstream(fmt.Sprintf("dsp-spare%d", i), carve("spare-ld")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var churnErr atomic.Value
+	trafficErrs := make([]error, hosts)
+
+	var traffic sync.WaitGroup
+	for i := 0; i < hosts; i++ {
+		traffic.Add(1)
+		go func(i int) {
+			defer traffic.Done()
+			buf := make([]byte, 4096)
+			for j := range buf {
+				buf[j] = byte(i + 1)
+			}
+			got := make([]byte, 4096)
+			for r := 0; !stop.Load(); r++ {
+				addr := uint64(r%4) * 4096
+				if err := ports[i].WriteBurst(addr, buf); err != nil {
+					trafficErrs[i] = err
+					return
+				}
+				if err := ports[i].ReadBurst(addr, got); err != nil {
+					trafficErrs[i] = err
+					return
+				}
+				if !bytes.Equal(buf, got) {
+					trafficErrs[i] = &PortError{Port: "switch", Op: "verify", Addr: addr, Why: "data changed under rebind churn"}
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Control-plane churn: each churner walks its spare vPPB across the
+	// spare downstream ports; a lookup goroutine hammers EndpointFor on
+	// the vPPBs carrying live traffic the whole time.
+	var churn sync.WaitGroup
+	for c := 0; c < spares; c++ {
+		churn.Add(1)
+		go func(c int) {
+			defer churn.Done()
+			vppb := fmt.Sprintf("spare%d", c)
+			dsps := []string{"dsp-spare0", "dsp-spare1"}
+			for r := 0; r < 300; r++ {
+				if err := sw.Bind(vppb, dsps[c]); err != nil {
+					continue // the other churner holds the port right now
+				}
+				// Rebind may fail (target occupied); the binding must
+				// survive either way so Unbind always succeeds.
+				_ = sw.Rebind(vppb, dsps[1-c])
+				if err := sw.Unbind(vppb); err != nil {
+					churnErr.Store(err)
+					return
+				}
+			}
+		}(c)
+	}
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for r := 0; r < 3000; r++ {
+			for i := 0; i < hosts; i++ {
+				if _, ok := sw.EndpointFor(fmt.Sprintf("host%d", i)); !ok {
+					churnErr.Store(fmt.Errorf("traffic vPPB host%d lost its binding", i))
+					return
+				}
+			}
+			sw.EndpointFor("spare0")
+			sw.Bindings()
+		}
+	}()
+
+	churn.Wait()
+	stop.Store(true)
+	traffic.Wait()
+
+	for i, err := range trafficErrs {
+		if err != nil {
+			t.Fatalf("host %d traffic failed: %v", i, err)
+		}
+	}
+	if err := churnErr.Load(); err != nil {
+		t.Fatalf("control-plane churn failed: %v", err)
 	}
 }

@@ -1,0 +1,181 @@
+package cxl
+
+import (
+	"testing"
+
+	"cxlpmem/internal/units"
+)
+
+func newAlloc(t *testing.T, cap units.Size) *ExtentAllocator {
+	t.Helper()
+	a, err := NewExtentAllocator(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestExtentAllocatorValidation(t *testing.T) {
+	if _, err := NewExtentAllocator(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewExtentAllocator(units.CacheLine + 1); err == nil {
+		t.Error("unaligned capacity accepted")
+	}
+	a := newAlloc(t, units.MiB)
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+	if _, err := a.Alloc(-64); err == nil {
+		t.Error("negative alloc accepted")
+	}
+	if _, err := a.Alloc(33); err == nil {
+		t.Error("unaligned alloc accepted")
+	}
+	if _, err := a.Alloc(2 * units.MiB); err == nil {
+		t.Error("over-capacity alloc accepted")
+	}
+	if a.Remaining() != units.MiB {
+		t.Errorf("failed allocs changed Remaining to %v", a.Remaining())
+	}
+}
+
+func TestExtentAllocatorFirstFitAndFragmentation(t *testing.T) {
+	a := newAlloc(t, 1024*units.CacheLine)
+	line := uint64(units.CacheLine)
+	// Carve four extents, free the 2nd and 4th: free list holds two
+	// fragments plus the tail.
+	var exts []Extent
+	for i := 0; i < 4; i++ {
+		e, err := a.Alloc(100 * units.CacheLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Base != uint64(i)*100*line {
+			t.Errorf("extent %d at %#x, want first-fit order", i, e.Base)
+		}
+		exts = append(exts, e)
+	}
+	if err := a.Free(exts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(exts[3]); err != nil {
+		t.Fatal(err)
+	}
+	// A request larger than any fragment but smaller than the total
+	// free space must fail (contiguous-only)...
+	if free := a.Remaining(); free != (1024-200)*units.CacheLine {
+		t.Fatalf("remaining = %v", free)
+	}
+	// ...while fragment-sized requests land in the lowest hole first.
+	e, err := a.Alloc(100 * units.CacheLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Base != exts[1].Base {
+		t.Errorf("first-fit chose %#x, want lowest hole %#x", e.Base, exts[1].Base)
+	}
+	// AllocAny walks the fragments: freeing extent 0 leaves hole 0 and
+	// hole 3 (+tail, which coalesced with hole 3's right edge).
+	if err := a.Free(exts[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.AllocAny(1024 * units.CacheLine)
+	if !ok || got.Base != 0 || got.Size != 100*line {
+		t.Errorf("AllocAny = %v,%v; want first fragment [0+100 lines)", got, ok)
+	}
+}
+
+func TestExtentAllocatorCoalescing(t *testing.T) {
+	a := newAlloc(t, units.MiB)
+	left, err := a.Alloc(256 * units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := a.Alloc(256 * units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Alloc(256 * units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free left and right: two separate fragments + the tail.
+	if err := a.Free(left); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(right); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.FreeExtents()); got != 2 {
+		t.Fatalf("free list has %d extents, want 2 (left, right+tail)", got)
+	}
+	// Freeing the middle merges everything back into one extent.
+	if err := a.Free(mid); err != nil {
+		t.Fatal(err)
+	}
+	free := a.FreeExtents()
+	if len(free) != 1 || free[0].Base != 0 || free[0].Size != uint64(units.MiB) {
+		t.Errorf("free list = %v, want one full extent", free)
+	}
+	if a.Remaining() != units.MiB {
+		t.Errorf("remaining = %v after full release", a.Remaining())
+	}
+}
+
+func TestExtentAllocatorDoubleRelease(t *testing.T) {
+	a := newAlloc(t, units.MiB)
+	e, err := a.Alloc(128 * units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(e); err == nil {
+		t.Error("double release accepted")
+	}
+	// Partially overlapping the free list is refused too.
+	if err := a.Free(Extent{Base: e.Base + uint64(64*units.KiB), Size: uint64(128 * units.KiB)}); err == nil {
+		t.Error("overlapping release accepted")
+	}
+	// Escaping the address space is refused.
+	if err := a.Free(Extent{Base: uint64(units.MiB), Size: 64}); err == nil {
+		t.Error("out-of-space release accepted")
+	}
+	if err := a.Free(Extent{Base: 0, Size: 0}); err == nil {
+		t.Error("zero-size release accepted")
+	}
+	if a.Remaining() != units.MiB {
+		t.Errorf("remaining = %v, want full capacity", a.Remaining())
+	}
+}
+
+func TestExtentAllocatorAllocAnyExhaustion(t *testing.T) {
+	a := newAlloc(t, 4*units.KiB)
+	var got []Extent
+	for {
+		e, ok := a.AllocAny(units.KiB)
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if len(got) != 4 {
+		t.Fatalf("AllocAny yielded %d chunks, want 4", len(got))
+	}
+	if a.Remaining() != 0 {
+		t.Errorf("remaining = %v after exhaustion", a.Remaining())
+	}
+	if _, ok := a.AllocAny(64); ok {
+		t.Error("AllocAny succeeded on empty space")
+	}
+	for _, e := range got {
+		if err := a.Free(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if free := a.FreeExtents(); len(free) != 1 || free[0].Size != uint64(4*units.KiB) {
+		t.Errorf("free list = %v, want one coalesced extent", free)
+	}
+}

@@ -35,6 +35,19 @@ const (
 	OpClearPoison MailboxOpcode = 0x4302
 	// OpSanitize destroys all media content (0x4400).
 	OpSanitize MailboxOpcode = 0x4400
+
+	// Dynamic Capacity Device (DCD) command set (CXL 3.0 §8.2.9.8.9).
+	// These round-trip the fabric manager's grant/release flow through
+	// the device mailbox, exactly as the Linux DCD path would drive it.
+
+	// OpGetDCDConfig returns the dynamic-capacity configuration (0x4800).
+	OpGetDCDConfig MailboxOpcode = 0x4800
+	// OpGetDCDExtentList returns the accepted extent list (0x4801).
+	OpGetDCDExtentList MailboxOpcode = 0x4801
+	// OpAddDCDResponse accepts or rejects an offered extent (0x4802).
+	OpAddDCDResponse MailboxOpcode = 0x4802
+	// OpReleaseDCD releases an accepted extent back to the fabric (0x4803).
+	OpReleaseDCD MailboxOpcode = 0x4803
 )
 
 // MailboxStatus is the command return code.
@@ -97,6 +110,41 @@ type PartitionInfo struct {
 	PersistentBytes uint64
 }
 
+// DCDConfig is the OpGetDCDConfig response: the fixed device address
+// space dynamic extents are granted within, and the grant granule.
+type DCDConfig struct {
+	// TotalCapacity is the DCD address-space size in bytes (the tenant
+	// quota). Extents live at fixed DPAs inside it.
+	TotalCapacity uint64
+	// Granule is the extent allocation unit in bytes.
+	Granule uint64
+}
+
+// DCDExtent names one dynamic-capacity extent in device address space.
+// Tag is the fabric manager's identifier for the extent, echoed by the
+// host in every response that refers to it.
+type DCDExtent struct {
+	Base uint64
+	Size uint64
+	Tag  uint64
+}
+
+// DCDBackend is the control plane behind the DCD command set — the
+// fabric manager. The mailbox validates framing and forwards; the
+// backend owns extent state.
+type DCDBackend interface {
+	// DCDConfig reports the device's dynamic-capacity configuration.
+	DCDConfig() DCDConfig
+	// DCDExtents lists the currently accepted (and revoked-but-
+	// unacknowledged) extents.
+	DCDExtents() []DCDExtent
+	// AddCapacityResponse completes a pending grant: the host accepts
+	// or rejects the offered extent.
+	AddCapacityResponse(ext DCDExtent, accept bool) error
+	// ReleaseCapacity returns an accepted extent to the fabric.
+	ReleaseCapacity(ext DCDExtent) error
+}
+
 // Mailbox is the command engine attached to a Type-3 device.
 type Mailbox struct {
 	dev *Type3Device
@@ -104,6 +152,7 @@ type Mailbox struct {
 	mu     sync.Mutex
 	poison map[uint64]bool // line-aligned DPAs
 	fwRev  string
+	dcd    DCDBackend
 	// npoison mirrors len(poison) so IsPoisoned — which runs on every
 	// HDM access — can skip the lock while the list is empty.
 	npoison atomic.Int64
@@ -126,12 +175,23 @@ func NewMailbox(dev *Type3Device, firmwareRev string) (*Mailbox, error) {
 	return m, nil
 }
 
+// SetDCD installs the dynamic-capacity backend (the fabric manager).
+// With no backend installed, DCD opcodes return MboxUnsupported — a
+// statically carved device.
+func (m *Mailbox) SetDCD(b DCDBackend) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dcd = b
+}
+
 // Execute runs one command. in is the opcode-specific payload; out is
 // the opcode-specific response encoding.
 func (m *Mailbox) Execute(op MailboxOpcode, in []byte) (out []byte, status MailboxStatus) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch op {
+	case OpGetDCDConfig, OpGetDCDExtentList, OpAddDCDResponse, OpReleaseDCD:
+		return m.executeDCD(op, in)
 	case OpIdentifyMemDevice:
 		return m.identify(), MboxSuccess
 	case OpGetHealthInfo:
@@ -350,12 +410,143 @@ func DecodePoisonList(b []byte) ([]uint64, error) {
 		return nil, fmt.Errorf("cxl: poison payload too short")
 	}
 	n := binary.LittleEndian.Uint32(b)
-	if len(b) != int(4+8*n) {
+	// int64 math for the same overflow reason as DecodeDCDExtentList.
+	if int64(len(b)) != 4+8*int64(n) {
 		return nil, fmt.Errorf("cxl: poison payload length mismatch")
 	}
 	out := make([]uint64, n)
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return out, nil
+}
+
+// executeDCD services the dynamic-capacity opcodes; caller holds m.mu.
+// The mailbox validates framing only — extent state lives in the
+// backend, whose errors surface as MboxInvalidInput (the host referred
+// to an extent the fabric does not recognise in that state).
+func (m *Mailbox) executeDCD(op MailboxOpcode, in []byte) ([]byte, MailboxStatus) {
+	if m.dcd == nil {
+		return nil, MboxUnsupported
+	}
+	switch op {
+	case OpGetDCDConfig:
+		return EncodeDCDConfig(m.dcd.DCDConfig()), MboxSuccess
+	case OpGetDCDExtentList:
+		return EncodeDCDExtentList(m.dcd.DCDExtents()), MboxSuccess
+	case OpAddDCDResponse:
+		ext, accept, err := DecodeDCDResponse(in)
+		if err != nil {
+			return nil, MboxInvalidInput
+		}
+		if err := m.dcd.AddCapacityResponse(ext, accept); err != nil {
+			return nil, MboxInvalidInput
+		}
+		return nil, MboxSuccess
+	case OpReleaseDCD:
+		ext, err := DecodeDCDExtent(in)
+		if err != nil {
+			return nil, MboxInvalidInput
+		}
+		if err := m.dcd.ReleaseCapacity(ext); err != nil {
+			return nil, MboxInvalidInput
+		}
+		return nil, MboxSuccess
+	}
+	return nil, MboxUnsupported
+}
+
+// EncodeDCDConfig encodes an OpGetDCDConfig response.
+func EncodeDCDConfig(c DCDConfig) []byte {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out[0:], c.TotalCapacity)
+	binary.LittleEndian.PutUint64(out[8:], c.Granule)
+	return out
+}
+
+// DecodeDCDConfig parses an OpGetDCDConfig response.
+func DecodeDCDConfig(b []byte) (DCDConfig, error) {
+	if len(b) != 16 {
+		return DCDConfig{}, fmt.Errorf("cxl: dcd config payload %d bytes, want 16", len(b))
+	}
+	return DCDConfig{
+		TotalCapacity: binary.LittleEndian.Uint64(b[0:]),
+		Granule:       binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// EncodeDCDExtent encodes one extent (the OpReleaseDCD payload).
+func EncodeDCDExtent(e DCDExtent) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out[0:], e.Base)
+	binary.LittleEndian.PutUint64(out[8:], e.Size)
+	binary.LittleEndian.PutUint64(out[16:], e.Tag)
+	return out
+}
+
+// DecodeDCDExtent parses one extent.
+func DecodeDCDExtent(b []byte) (DCDExtent, error) {
+	if len(b) != 24 {
+		return DCDExtent{}, fmt.Errorf("cxl: dcd extent payload %d bytes, want 24", len(b))
+	}
+	return DCDExtent{
+		Base: binary.LittleEndian.Uint64(b[0:]),
+		Size: binary.LittleEndian.Uint64(b[8:]),
+		Tag:  binary.LittleEndian.Uint64(b[16:]),
+	}, nil
+}
+
+// EncodeDCDResponse encodes an OpAddDCDResponse payload: the offered
+// extent plus the host's accept/reject decision.
+func EncodeDCDResponse(e DCDExtent, accept bool) []byte {
+	out := make([]byte, 25)
+	copy(out, EncodeDCDExtent(e))
+	if accept {
+		out[24] = 1
+	}
+	return out
+}
+
+// DecodeDCDResponse parses an OpAddDCDResponse payload.
+func DecodeDCDResponse(b []byte) (DCDExtent, bool, error) {
+	if len(b) != 25 {
+		return DCDExtent{}, false, fmt.Errorf("cxl: dcd response payload %d bytes, want 25", len(b))
+	}
+	ext, err := DecodeDCDExtent(b[:24])
+	if err != nil {
+		return DCDExtent{}, false, err
+	}
+	return ext, b[24] == 1, nil
+}
+
+// EncodeDCDExtentList encodes an OpGetDCDExtentList response.
+func EncodeDCDExtentList(exts []DCDExtent) []byte {
+	out := make([]byte, 4+24*len(exts))
+	binary.LittleEndian.PutUint32(out, uint32(len(exts)))
+	for i, e := range exts {
+		copy(out[4+24*i:], EncodeDCDExtent(e))
+	}
+	return out
+}
+
+// DecodeDCDExtentList parses an OpGetDCDExtentList response.
+func DecodeDCDExtentList(b []byte) ([]DCDExtent, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("cxl: dcd extent list too short")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	// Compare in int64: 24*n overflows uint32 for hostile counts, which
+	// would let a short payload pass and the loop below index past it.
+	if int64(len(b)) != 4+24*int64(n) {
+		return nil, fmt.Errorf("cxl: dcd extent list length mismatch")
+	}
+	out := make([]DCDExtent, n)
+	for i := range out {
+		e, err := DecodeDCDExtent(b[4+24*i : 4+24*(i+1)])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
 	}
 	return out, nil
 }

@@ -231,3 +231,22 @@ func TestLinkRetryGivesUpOnPersistentFault(t *testing.T) {
 		t.Errorf("retries = %d, want >= %d", rp.Retries(), maxLinkRetries)
 	}
 }
+
+// TestDecodeListLengthOverflow feeds the list decoders hostile counts
+// whose byte-length products wrap a 32-bit int: the length check must
+// reject them instead of over-allocating and indexing past the buffer.
+func TestDecodeListLengthOverflow(t *testing.T) {
+	// 24*178956971 ≡ 8 (mod 2^32): a 12-byte payload would pass a
+	// 32-bit check.
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b, 178956971)
+	if _, err := DecodeDCDExtentList(b); err == nil {
+		t.Error("overflowing DCD extent count accepted")
+	}
+	// 8*536870912 ≡ 0 (mod 2^32): a 4-byte poison payload would pass.
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, 536870912)
+	if _, err := DecodePoisonList(p); err == nil {
+		t.Error("overflowing poison count accepted")
+	}
+}

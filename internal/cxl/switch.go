@@ -2,7 +2,9 @@ package cxl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cxlpmem/internal/memdev"
 	"cxlpmem/internal/units"
@@ -15,26 +17,45 @@ import (
 // downstream endpoint, or to one logical device of a Multi-Logical
 // Device (MLD) whose capacity is partitioned among hosts.
 
-// Switch is a CXL 2.0 switch.
+// Switch is a CXL 2.0 switch. Binding mutations (Bind/Unbind/Rebind,
+// AddDownstream) are serialised by a mutex and publish an immutable
+// routing snapshot; EndpointFor — the per-transaction lookup — reads
+// the snapshot lock-free, so rebinding one vPPB never stalls traffic
+// flowing through the others.
 type Switch struct {
 	name string
 
-	mu         sync.RWMutex
+	mu         sync.Mutex
 	downstream map[string]Endpoint // port name -> device
 	bindings   map[string]string   // vPPB (host port) -> downstream port
+	// view is the published vPPB -> endpoint routing table.
+	view atomic.Pointer[map[string]Endpoint]
 }
 
 // NewSwitch builds an empty switch.
 func NewSwitch(name string) *Switch {
-	return &Switch{
+	sw := &Switch{
 		name:       name,
 		downstream: make(map[string]Endpoint),
 		bindings:   make(map[string]string),
 	}
+	sw.publish()
+	return sw
 }
 
 // Name returns the switch name.
 func (sw *Switch) Name() string { return sw.name }
+
+// publish rebuilds the lock-free routing snapshot; callers hold sw.mu.
+func (sw *Switch) publish() {
+	v := make(map[string]Endpoint, len(sw.bindings))
+	for vppb, port := range sw.bindings {
+		if ep, ok := sw.downstream[port]; ok {
+			v[vppb] = ep
+		}
+	}
+	sw.view.Store(&v)
+}
 
 // AddDownstream attaches an endpoint to a named downstream port.
 func (sw *Switch) AddDownstream(port string, ep Endpoint) error {
@@ -50,13 +71,25 @@ func (sw *Switch) AddDownstream(port string, ep Endpoint) error {
 	return nil
 }
 
-// Bind connects a host-facing vPPB to a downstream port. A downstream
-// device may be bound to at most one vPPB at a time (single-logical-
-// device semantics; MLDs are partitioned first, then each logical device
-// is bound independently).
-func (sw *Switch) Bind(vppb, downstreamPort string) error {
+// RemoveDownstream detaches a downstream port. The port must not be
+// bound to any vPPB.
+func (sw *Switch) RemoveDownstream(port string) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if _, ok := sw.downstream[port]; !ok {
+		return fmt.Errorf("cxl: switch %s: no downstream port %s", sw.name, port)
+	}
+	for v, d := range sw.bindings {
+		if d == port {
+			return fmt.Errorf("cxl: switch %s: downstream %s still bound to vPPB %s", sw.name, port, v)
+		}
+	}
+	delete(sw.downstream, port)
+	return nil
+}
+
+// bindLocked connects vppb to downstreamPort; callers hold sw.mu.
+func (sw *Switch) bindLocked(vppb, downstreamPort string) error {
 	if _, ok := sw.downstream[downstreamPort]; !ok {
 		return fmt.Errorf("cxl: switch %s: no downstream port %s", sw.name, downstreamPort)
 	}
@@ -72,6 +105,20 @@ func (sw *Switch) Bind(vppb, downstreamPort string) error {
 	return nil
 }
 
+// Bind connects a host-facing vPPB to a downstream port. A downstream
+// device may be bound to at most one vPPB at a time (single-logical-
+// device semantics; MLDs are partitioned first, then each logical device
+// is bound independently).
+func (sw *Switch) Bind(vppb, downstreamPort string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if err := sw.bindLocked(vppb, downstreamPort); err != nil {
+		return err
+	}
+	sw.publish()
+	return nil
+}
+
 // Unbind releases a vPPB, returning its device to the pool.
 func (sw *Switch) Unbind(vppb string) error {
 	sw.mu.Lock()
@@ -80,25 +127,51 @@ func (sw *Switch) Unbind(vppb string) error {
 		return fmt.Errorf("cxl: switch %s: vPPB %s not bound", sw.name, vppb)
 	}
 	delete(sw.bindings, vppb)
+	sw.publish()
 	return nil
 }
 
-// EndpointFor resolves the endpoint visible through a vPPB.
-func (sw *Switch) EndpointFor(vppb string) (Endpoint, bool) {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	port, ok := sw.bindings[vppb]
+// Rebind atomically moves a vPPB to a different downstream port: other
+// vPPBs never observe an intermediate state, and lookups through this
+// one see either the old endpoint or the new, never nothing. The vPPB
+// must currently be bound; the target port must exist and be free.
+// Transactions already in flight complete against the endpoint they
+// resolved at issue time, exactly as with Unbind.
+func (sw *Switch) Rebind(vppb, downstreamPort string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	old, ok := sw.bindings[vppb]
 	if !ok {
+		return fmt.Errorf("cxl: switch %s: vPPB %s not bound", sw.name, vppb)
+	}
+	if old == downstreamPort {
+		return nil
+	}
+	delete(sw.bindings, vppb)
+	if err := sw.bindLocked(vppb, downstreamPort); err != nil {
+		sw.bindings[vppb] = old // roll back; snapshot never saw the gap
+		return err
+	}
+	sw.publish()
+	return nil
+}
+
+// EndpointFor resolves the endpoint visible through a vPPB. It reads
+// the published routing snapshot without taking the switch lock — the
+// data-plane path stays wait-free while the control plane rebinds.
+func (sw *Switch) EndpointFor(vppb string) (Endpoint, bool) {
+	v := sw.view.Load()
+	if v == nil {
 		return nil, false
 	}
-	ep, ok := sw.downstream[port]
+	ep, ok := (*v)[vppb]
 	return ep, ok
 }
 
 // Bindings returns a copy of the current vPPB map.
 func (sw *Switch) Bindings() map[string]string {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	out := make(map[string]string, len(sw.bindings))
 	for k, v := range sw.bindings {
 		out[k] = v
@@ -108,14 +181,17 @@ func (sw *Switch) Bindings() map[string]string {
 
 // MLD is a Multi-Logical Device: one physical Type-3 device whose
 // capacity is partitioned into logical devices, each presentable to a
-// different host. This is CXL 2.0's device-level pooling mechanism.
+// different host. This is CXL 2.0's device-level pooling mechanism —
+// made elastic here: partitions and raw extents can be released back to
+// the pool and re-carved (first-fit with coalescing), which is the
+// substrate the fabric manager's dynamic-capacity model stands on.
 type MLD struct {
 	name  string
 	media memdev.Device
 
 	mu         sync.Mutex
+	alloc      *ExtentAllocator
 	partitions []*LogicalDevice
-	nextDPA    uint64
 }
 
 // NewMLD wraps media as a poolable multi-logical device.
@@ -123,45 +199,144 @@ func NewMLD(name string, media memdev.Device) (*MLD, error) {
 	if media == nil {
 		return nil, fmt.Errorf("cxl: mld %s: nil media", name)
 	}
-	return &MLD{name: name, media: media}, nil
+	alloc, err := NewExtentAllocator(media.Capacity())
+	if err != nil {
+		return nil, fmt.Errorf("cxl: mld %s: %w", name, err)
+	}
+	return &MLD{name: name, media: media, alloc: alloc}, nil
 }
 
 // Name returns the MLD name.
 func (m *MLD) Name() string { return m.name }
 
-// Remaining reports unpartitioned capacity.
+// Media exposes the backing device. The fabric manager maps tenant
+// extents directly onto it; data-plane isolation comes from the extent
+// tables, not from hiding the media.
+func (m *MLD) Media() memdev.Device { return m.media }
+
+// Remaining reports unreserved capacity: what neither a carved
+// partition nor an allocated extent currently holds.
 func (m *MLD) Remaining() units.Size {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return units.Size(uint64(m.media.Capacity().Bytes()) - m.nextDPA)
+	return m.alloc.Remaining()
+}
+
+// FreeExtents snapshots the free list (sorted by base).
+func (m *MLD) FreeExtents() []Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alloc.FreeExtents()
+}
+
+// AllocExtent reserves a contiguous raw extent of exactly size bytes
+// (first-fit). Raw extents carry no endpoint; the fabric manager maps
+// them into tenant devices.
+func (m *MLD) AllocExtent(size units.Size) (Extent, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ext, err := m.alloc.Alloc(size)
+	if err != nil {
+		return Extent{}, fmt.Errorf("cxl: mld %s: %w", m.name, err)
+	}
+	return ext, nil
+}
+
+// AllocExtentAny reserves the lowest free extent, clipped to max bytes
+// — the fragmented-pool path (see ExtentAllocator.AllocAny).
+func (m *MLD) AllocExtentAny(max units.Size) (Extent, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alloc.AllocAny(max)
+}
+
+// ReleaseExtent returns a raw extent to the pool, coalescing free
+// neighbours. Double releases are refused.
+func (m *MLD) ReleaseExtent(ext Extent) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.alloc.Free(ext); err != nil {
+		return fmt.Errorf("cxl: mld %s: %w", m.name, err)
+	}
+	return nil
 }
 
 // Carve allocates a logical device of the given size from the pool. The
 // returned LogicalDevice is a full CXL Type-3 endpoint restricted to its
-// partition (dynamic capacity in CXL 2.0/3.0 terms).
+// partition (dynamic capacity in CXL 2.0/3.0 terms). A carve that fails
+// after reserving its extent rolls the reservation back — no capacity
+// leaks, Remaining() is exact across any sequence of failed carves.
 func (m *MLD) Carve(name string, size units.Size) (*LogicalDevice, error) {
 	if size <= 0 || size%units.CacheLine != 0 {
 		return nil, fmt.Errorf("cxl: mld %s: invalid partition size %d", m.name, size)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.nextDPA+uint64(size) > uint64(m.media.Capacity().Bytes()) {
-		return nil, fmt.Errorf("cxl: mld %s: partition %s exceeds remaining capacity", m.name, size)
+	ext, err := m.alloc.Alloc(size)
+	if err != nil {
+		return nil, fmt.Errorf("cxl: mld %s: partition %s: %w", m.name, size, err)
 	}
 	ld := &LogicalDevice{
 		mld:  m,
-		base: m.nextDPA,
-		size: uint64(size),
+		base: ext.Base,
+		size: ext.Size,
 	}
-	var err error
-	ld.view = &partitionView{m: m, base: m.nextDPA, size: uint64(size)}
+	ld.view = &partitionView{m: m, base: ext.Base, size: ext.Size}
 	ld.Type3Device, err = newType3FromView(name, ld.view)
 	if err != nil {
+		// Roll back the reservation: the extent was just carved from
+		// the free list, so returning it cannot fail.
+		if ferr := m.alloc.Free(ext); ferr != nil {
+			panic(fmt.Sprintf("cxl: mld %s: carve rollback failed: %v", m.name, ferr))
+		}
 		return nil, err
 	}
-	m.nextDPA += uint64(size)
 	m.partitions = append(m.partitions, ld)
 	return ld, nil
+}
+
+// Release returns a carved partition to the pool. The logical device is
+// detached first — in-flight and subsequent accesses through it fail —
+// and its extent is then freed and coalesced, so a released partition's
+// bytes are immediately re-carvable. Releasing a device twice, or one
+// belonging to another MLD, is refused.
+func (m *MLD) Release(ld *LogicalDevice) error {
+	if ld == nil || ld.mld != m {
+		return fmt.Errorf("cxl: mld %s: release of foreign logical device", m.name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := -1
+	for i, p := range m.partitions {
+		if p == ld {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cxl: mld %s: logical device %s not carved here (double release?)", m.name, ld.Name())
+	}
+	// Detach, then drain accesses that passed the detached check before
+	// it flipped — only then is the extent safe to hand back, or a
+	// straggling write could land on bytes already re-carved for a new
+	// partition.
+	ld.view.detached.Store(true)
+	ld.view.drain()
+	if err := m.alloc.Free(Extent{Base: ld.base, Size: ld.size}); err != nil {
+		ld.view.detached.Store(false)
+		return fmt.Errorf("cxl: mld %s: %w", m.name, err)
+	}
+	m.partitions = append(m.partitions[:idx], m.partitions[idx+1:]...)
+	return nil
+}
+
+// Partitions snapshots the currently carved logical devices.
+func (m *MLD) Partitions() []*LogicalDevice {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*LogicalDevice, len(m.partitions))
+	copy(out, m.partitions)
+	return out
 }
 
 // LogicalDevice is one partition of an MLD, usable as an Endpoint.
@@ -179,12 +354,28 @@ func (ld *LogicalDevice) Partition() (base, size uint64) { return ld.base, ld.si
 // partitionView restricts a media device to a sub-range, implementing
 // memdev.Device so the Type-3 machinery — including the burst path,
 // which lands one multi-line ReadAt/WriteAt per burst here rather than
-// one per line — is reused unchanged.
+// one per line — is reused unchanged. A detached view (its partition
+// was released back to the pool) refuses all access.
 type partitionView struct {
-	m     *MLD
-	base  uint64
-	size  uint64
-	stats memdev.Stats
+	m        *MLD
+	base     uint64
+	size     uint64
+	stats    memdev.Stats
+	detached atomic.Bool
+	// inflight counts accesses between the detached check and media
+	// completion; Release drains it after flipping detached so no
+	// access outlives the partition (see drain).
+	inflight atomic.Int64
+}
+
+// drain blocks until accesses that began before detached flipped have
+// completed — a grace period. Accesses never take the MLD lock, so
+// draining under it cannot deadlock; the wait is bounded by one media
+// access.
+func (v *partitionView) drain() {
+	for v.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
 }
 
 func (v *partitionView) Name() string { return v.m.media.Name() + "-part" }
@@ -197,6 +388,11 @@ func (v *partitionView) Stats() *memdev.Stats    { return &v.stats }
 func (v *partitionView) PowerCycle()             { v.m.media.PowerCycle() }
 
 func (v *partitionView) ReadAt(p []byte, off int64) error {
+	v.inflight.Add(1)
+	defer v.inflight.Add(-1)
+	if v.detached.Load() {
+		return fmt.Errorf("cxl: %s: partition released", v.Name())
+	}
 	if off < 0 || uint64(off)+uint64(len(p)) > v.size {
 		return &memdev.AddrError{Device: v.Name(), Off: off, Len: len(p), Cap: v.Capacity()}
 	}
@@ -209,6 +405,11 @@ func (v *partitionView) ReadAt(p []byte, off int64) error {
 }
 
 func (v *partitionView) WriteAt(p []byte, off int64) error {
+	v.inflight.Add(1)
+	defer v.inflight.Add(-1)
+	if v.detached.Load() {
+		return fmt.Errorf("cxl: %s: partition released", v.Name())
+	}
 	if off < 0 || uint64(off)+uint64(len(p)) > v.size {
 		return &memdev.AddrError{Device: v.Name(), Off: off, Len: len(p), Cap: v.Capacity()}
 	}

@@ -70,9 +70,23 @@ func TestMLDPartitioning(t *testing.T) {
 	if _, err := NewMLD("x", nil); err == nil {
 		t.Error("nil media accepted")
 	}
+	initial := mld.Remaining()
+	if initial != 16*units.MiB {
+		t.Fatalf("initial remaining = %v, want media capacity", initial)
+	}
+	// Remaining() invariant: failed carves reserve nothing.
+	if _, err := mld.Carve("ld-huge", 32*units.MiB); err == nil {
+		t.Error("carved past capacity")
+	}
+	if mld.Remaining() != initial {
+		t.Errorf("failed carve leaked: remaining = %v, want %v", mld.Remaining(), initial)
+	}
 	ldA, err := mld.Carve("ld-hostA", 8*units.MiB)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if mld.Remaining() != initial-8*units.MiB {
+		t.Errorf("remaining = %v after one carve", mld.Remaining())
 	}
 	ldB, err := mld.Carve("ld-hostB", 8*units.MiB)
 	if err != nil {
@@ -87,10 +101,167 @@ func TestMLDPartitioning(t *testing.T) {
 	if _, err := mld.Carve("ld-d", 33); err == nil {
 		t.Error("accepted unaligned partition size")
 	}
+	if mld.Remaining() != 0 {
+		t.Errorf("failed carves leaked: remaining = %v, want 0", mld.Remaining())
+	}
 	baseA, sizeA := ldA.Partition()
 	baseB, _ := ldB.Partition()
 	if baseA != 0 || sizeA != uint64(8*units.MiB) || baseB != uint64(8*units.MiB) {
 		t.Errorf("partitions: A=%d+%d B=%d", baseA, sizeA, baseB)
+	}
+	// Release/re-carve: returning both partitions restores the full
+	// pool (coalesced), and the bytes are immediately re-carvable.
+	if err := mld.Release(ldA); err != nil {
+		t.Fatal(err)
+	}
+	if err := mld.Release(ldA); err == nil {
+		t.Error("double release accepted")
+	}
+	if mld.Remaining() != 8*units.MiB {
+		t.Errorf("remaining = %v after releasing A", mld.Remaining())
+	}
+	if err := mld.Release(ldB); err != nil {
+		t.Fatal(err)
+	}
+	if mld.Remaining() != initial {
+		t.Errorf("remaining = %v after full release, want %v", mld.Remaining(), initial)
+	}
+	if free := mld.FreeExtents(); len(free) != 1 {
+		t.Errorf("free list = %v, want one coalesced extent", free)
+	}
+	ldC, err := mld.Carve("ld-recarve", 16*units.MiB)
+	if err != nil {
+		t.Fatalf("re-carve of released capacity failed: %v", err)
+	}
+	if base, size := ldC.Partition(); base != 0 || size != uint64(16*units.MiB) {
+		t.Errorf("re-carve at [%#x+%#x), want the full pool", base, size)
+	}
+}
+
+// TestMLDReleasedPartitionRefusesAccess checks the torn-down data
+// path: a released logical device fails CXL.mem transactions instead
+// of touching pool bytes that may already belong to someone else.
+func TestMLDReleasedPartitionRefusesAccess(t *testing.T) {
+	mld, err := NewMLD("mld0", testMedia(t, "pool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := mld.Carve("ld0", units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.ProgramDecoder(&HDMDecoder{Base: 0, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var line [LineSize]byte
+	if resp := ld.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0, Data: line}); resp.Opcode != RespCmp {
+		t.Fatal("write before release failed")
+	}
+	if err := mld.Release(ld); err != nil {
+		t.Fatal(err)
+	}
+	if resp := ld.HandleMem(MemReq{Opcode: OpMemRd, Addr: 0}); resp.Opcode != RespErr {
+		t.Error("read through released partition succeeded")
+	}
+	if resp := ld.HandleMem(MemReq{Opcode: OpMemWr, Addr: 0, Data: line}); resp.Opcode != RespErr {
+		t.Error("write through released partition succeeded")
+	}
+}
+
+// TestMLDRawExtents covers the raw extent interface the fabric manager
+// drives: alloc, fragmented AllocAny, release-with-coalescing, double
+// release, and the Remaining() invariant across a mixed sequence.
+func TestMLDRawExtents(t *testing.T) {
+	mld, err := NewMLD("mld0", testMedia(t, "pool")) // 16 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := mld.Remaining()
+	a, err := mld.AllocExtent(4 * units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mld.AllocExtent(4 * units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mld.AllocExtent(16 * units.MiB); err == nil {
+		t.Error("over-capacity extent accepted")
+	}
+	if err := mld.ReleaseExtent(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mld.ReleaseExtent(a); err == nil {
+		t.Error("double extent release accepted")
+	}
+	// A partition and a raw extent draw from the same free space.
+	ld, err := mld.Carve("ld0", 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mld.Remaining(), initial-12*units.MiB; got != want {
+		t.Errorf("remaining = %v, want %v", got, want)
+	}
+	if err := mld.Release(ld); err != nil {
+		t.Fatal(err)
+	}
+	if err := mld.ReleaseExtent(b); err != nil {
+		t.Fatal(err)
+	}
+	if mld.Remaining() != initial {
+		t.Errorf("remaining = %v after full release, want %v", mld.Remaining(), initial)
+	}
+}
+
+// TestSwitchRebind checks the control-plane rebind contract: atomic
+// move, no intermediate unbound state visible, rollback on a bad
+// target.
+func TestSwitchRebind(t *testing.T) {
+	sw := NewSwitch("sw0")
+	devA := testType3(t)
+	devB := testType3(t)
+	if err := sw.AddDownstream("d0", devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddDownstream("d1", devB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Rebind("host0", "d1"); err == nil {
+		t.Error("rebound an unbound vPPB")
+	}
+	if err := sw.Bind("host0", "d0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Rebind("host0", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if ep, ok := sw.EndpointFor("host0"); !ok || ep != Endpoint(devB) {
+		t.Error("rebind did not route to the new endpoint")
+	}
+	// d0 is free again.
+	if err := sw.Bind("host1", "d0"); err != nil {
+		t.Errorf("old downstream not released by rebind: %v", err)
+	}
+	// A failed rebind (occupied target) leaves the old binding intact.
+	if err := sw.Rebind("host0", "d0"); err == nil {
+		t.Error("rebound onto an occupied downstream")
+	}
+	if ep, ok := sw.EndpointFor("host0"); !ok || ep != Endpoint(devB) {
+		t.Error("failed rebind lost the original binding")
+	}
+	// Rebind to the current port is a no-op.
+	if err := sw.Rebind("host0", "d1"); err != nil {
+		t.Errorf("self-rebind: %v", err)
+	}
+	// RemoveDownstream refuses bound ports, accepts free ones.
+	if err := sw.RemoveDownstream("d1"); err == nil {
+		t.Error("removed a bound downstream")
+	}
+	if err := sw.Unbind("host1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RemoveDownstream("d0"); err != nil {
+		t.Errorf("remove free downstream: %v", err)
 	}
 }
 

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"sync"
 
-	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/fpga"
 	"cxlpmem/internal/memdev"
 	"cxlpmem/internal/numa"
@@ -89,8 +88,14 @@ func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
 		switch n.Kind {
 		case topology.NodeCXL:
 			// The DAX path to CXL memory goes through the root
-			// port: every pool access is CXL.mem traffic.
-			acc = &windowAccessor{port: n.Port, base: int64(n.Window.Base)}
+			// port: every pool access is CXL.mem traffic. An
+			// interleaved node routes through the striped path
+			// instead, fanning bulk transfers across its legs.
+			if n.Stripe != nil {
+				acc = &windowAccessor{port: n.Stripe, base: int64(n.Window.Base)}
+			} else {
+				acc = &windowAccessor{port: n.Port, base: int64(n.Window.Base)}
+			}
 			size = int64(n.Window.Size)
 		default:
 			acc = n.Device
@@ -108,14 +113,16 @@ func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
 	return rt, nil
 }
 
-// windowAccessor adapts a CXL root port + HPA window base to the pmemfs
-// accessor shape. Bulk transfers vectorise inside the port: line-aligned
+// windowAccessor adapts a CXL data path (a root port, or the striped
+// interleave set of a multi-leg node) + HPA window base to the pmemfs
+// accessor shape. Bulk transfers vectorise inside the path: line-aligned
 // interiors move as multi-line CXL.mem bursts (one codec header per
 // MaxBurstLines lines), so pool view loads, persists and checkpoint
 // chunk flushes cost O(bytes) on the wire instead of O(lines × codec
-// round trips).
+// round trips) — and on a striped node they additionally fan out across
+// the legs.
 type windowAccessor struct {
-	port *cxl.RootPort
+	port pmemfs.Accessor
 	base int64
 }
 

@@ -52,7 +52,11 @@ type BurstHandler interface {
 // MemStats counts CXL.mem transactions at an endpoint. Reads/Writes
 // count single-line requests; bursts are counted separately (one
 // ReadBursts/WriteBursts increment per burst header, with BurstLines
-// accumulating the data-flit total).
+// accumulating the data-flit total). LineFallbacks counts bursts that
+// could not use a single media access and degraded to per-line decode —
+// a span crossing decoder windows. A persistently non-zero rate under
+// bulk traffic means a misconfigured window is silently costing ~50×;
+// interleaved windows served by the strided path do not count here.
 type MemStats struct {
 	Reads         atomic.Int64
 	Writes        atomic.Int64
@@ -62,6 +66,7 @@ type MemStats struct {
 	ReadBursts    atomic.Int64
 	WriteBursts   atomic.Int64
 	BurstLines    atomic.Int64
+	LineFallbacks atomic.Int64
 }
 
 // Type3Device is a CXL memory-expansion endpoint backed by a media
@@ -184,18 +189,31 @@ func (d *Type3Device) lookup(hpa uint64) (dpa uint64, poisoned func(uint64) bool
 	return
 }
 
-// decodeSpan resolves a [hpa, hpa+n) span that maps contiguously through
-// one decoder, fetching the RAS hook from the same snapshot. The
-// decoder is chosen exactly as per-line decode() would choose it (first
-// match in programming order), so burst and line transactions always
-// agree on the target DPA; ok is false when that decoder is interleaved
-// or the span crosses its window end — callers fall back to per-line
-// decode.
+// decodeSpan resolves a [hpa, hpa+n) span that maps to one contiguous
+// DPA range through one decoder, fetching the RAS hook from the same
+// snapshot. The decoder is chosen exactly as per-line decode() would
+// choose it (first match in programming order), so burst and line
+// transactions always agree on the target DPA. Two shapes qualify:
+//
+//   - a plain decoder whose window covers the whole HPA span, and
+//   - an interleaved decoder, where a burst names n/LineSize
+//     consecutive *target-owned* lines starting at hpa (granule-strided
+//     in HPA space). Owned lines enumerate the target's DPA share in
+//     order, so the burst is one contiguous media access — this is what
+//     keeps interleaved windows off the per-line path entirely.
+//
+// ok is false only when the span overruns the window (or the target's
+// share) — callers then fall back to per-line decode, counting the
+// fallback.
 func (d *Type3Device) decodeSpan(hpa, n uint64) (dpa uint64, s *deviceSnapshot, ok bool) {
 	s = d.snapshot()
 	for _, dec := range s.decoders {
 		if candidate, hit := dec.Decode(hpa); hit {
-			if dec.InterleaveWays <= 1 && hpa+n <= dec.Base+dec.Size {
+			if dec.InterleaveWays <= 1 {
+				if hpa+n <= dec.Base+dec.Size {
+					dpa, ok = candidate, true
+				}
+			} else if candidate+n <= dec.DPABase+dec.Share() {
 				dpa, ok = candidate, true
 			}
 			return
@@ -292,11 +310,14 @@ func (d *Type3Device) HandleMem(req MemReq) MemResp {
 }
 
 // HandleMemBurst implements BurstHandler: it services a multi-line burst
-// with a single media access when the span maps contiguously through one
-// HDM decoder, falling back to per-line accesses across window or
-// interleave boundaries. Poison (RAS) checks still run per line, and a
-// burst touching any poisoned or unmapped line fails whole — no partial
-// effects reach the media.
+// with a single media access when the span maps to one contiguous DPA
+// range through one HDM decoder — plain windows and interleaved windows
+// alike (an interleaved burst names consecutive target-owned lines; see
+// decodeSpan) — falling back to per-line accesses only across decoder
+// boundaries, and counting each such fallback in MemStats.LineFallbacks.
+// Poison (RAS) checks still run per line, and a burst touching any
+// poisoned or unmapped line fails whole — no partial effects reach the
+// media.
 func (d *Type3Device) HandleMemBurst(req MemReq, payload []byte) MemResp {
 	resp := MemResp{Tag: req.Tag}
 	lines := int(req.Lines)
@@ -328,6 +349,9 @@ func (d *Type3Device) HandleMemBurst(req MemReq, payload []byte) MemResp {
 	// span is not contiguous) and poison — so a failing burst has no
 	// partial effects. Line DPAs are kept on the stack for the access
 	// loop; the fast path never fills them.
+	if !contiguous {
+		d.stats.LineFallbacks.Add(1)
+	}
 	var lineDPAs [MaxBurstLines]uint64
 	if !contiguous || poisoned != nil {
 		for i := 0; i < lines; i++ {

@@ -63,6 +63,18 @@ func (d *HDMDecoder) Commit() error {
 // Committed reports whether the decoder has been committed.
 func (d *HDMDecoder) Committed() bool { return d.committed }
 
+// Share returns the number of bytes of the window this target backs:
+// Size for a plain decoder, Size/ways for an interleaved one. The
+// target's owned lines, taken in HPA order, enumerate the DPA range
+// [DPABase, DPABase+Share()) contiguously — the property the strided
+// burst path relies on.
+func (d *HDMDecoder) Share() uint64 {
+	if d.InterleaveWays <= 1 {
+		return d.Size
+	}
+	return d.Size / uint64(d.InterleaveWays)
+}
+
 // Contains reports whether hpa falls inside the window and, for
 // interleaved windows, belongs to this target.
 func (d *HDMDecoder) Contains(hpa uint64) bool {

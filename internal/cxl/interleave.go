@@ -1,0 +1,506 @@
+package cxl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Host-side interleave sets. CXL scales bandwidth the way DRAM channels
+// do: a host physical window is striped across N endpoints at granule
+// boundaries, and N links move data in parallel. The HDM decoder model
+// (hdm.go) has carried the geometry since the seed — ways, granule,
+// target index — but until this layer existed the host could not exploit
+// it: nothing split a burst across ports. An InterleaveSet is that
+// missing host half. It owns one root port per interleave target,
+// programs the matching per-target decoders at enumeration time, and
+// fans every bulk transfer out into per-leg granule runs issued
+// concurrently over the member ports.
+//
+// The wire semantics per leg are unchanged: each leg's traffic moves
+// through its own RootPort — multi-VC tagging, per-flit CRC, LRSM
+// retry, trace/fault hooks — so a fault injected on one link retries on
+// that link alone and never perturbs the other legs. The endpoint
+// services a leg burst with a single media access because consecutive
+// target-owned lines of an interleaved window map to a contiguous DPA
+// span (see Type3Device.decodeSpan).
+//
+// Steady state allocates nothing: leg fan-out reuses pooled call frames
+// handed to persistent per-leg worker goroutines (a goroutine spawned
+// per call would heap-allocate its closure), and gather/scatter staging
+// comes from the same burst buffer pool the ports use.
+
+// MaxInterleaveWays bounds the interleave width, matching CXL 2.0's
+// 8-way root-complex interleave limit.
+const MaxInterleaveWays = 8
+
+// DefaultInterleaveGranule is the stripe unit when the caller does not
+// choose one: 256 B, the typical CXL interleave granularity.
+const DefaultInterleaveGranule = 256
+
+// stripeJob is one leg's share of a striped transfer, handed to the
+// leg's worker goroutine. Jobs live inside pooled stripeCall frames so
+// the fan-out allocates nothing in steady state.
+type stripeJob struct {
+	set   *InterleaveSet
+	wg    *sync.WaitGroup
+	leg   int
+	write bool
+	hpa   uint64
+	p     []byte
+	err   error
+}
+
+// stripeCall is the reusable per-call frame: one job slot per possible
+// leg plus the completion barrier.
+type stripeCall struct {
+	wg   sync.WaitGroup
+	jobs [MaxInterleaveWays]stripeJob
+}
+
+var stripeCallPool = sync.Pool{New: func() any { return new(stripeCall) }}
+
+// legWorker drains one leg's job channel for the lifetime of the set.
+func legWorker(ch chan *stripeJob) {
+	for j := range ch {
+		runStripeJob(j)
+	}
+}
+
+// runStripeJob executes one leg's share and signals the call barrier.
+// It runs on the leg's persistent worker, or on a transient goroutine
+// when the worker is mid-job (concurrent striped calls overflow rather
+// than queue, so N callers drive a leg's port N-wide over its virtual
+// channels instead of serialising behind one worker).
+func runStripeJob(j *stripeJob) {
+	j.err = j.set.runLeg(j.leg, j.write, j.hpa, j.p)
+	j.wg.Done()
+}
+
+// InterleaveSet is a striped CXL.mem data path over N root ports: one
+// HPA window, interleaved at granule boundaries across the ports'
+// endpoints, with bulk transfers split into per-leg sub-bursts issued
+// concurrently. It exposes the same transfer surface as a single
+// RootPort (ReadBurst/WriteBurst/ReadAt/WriteAt plus line ops routed to
+// the owning leg), so callers swap one for the other.
+type InterleaveSet struct {
+	name    string
+	ports   []*RootPort
+	base    uint64
+	size    uint64 // ways × share
+	share   uint64 // per-target bytes
+	granule uint64
+	// workers feed legs 1..ways-1; leg 0 always runs on the caller's
+	// goroutine, so a 1-way set degenerates to the plain port path with
+	// no hand-off at all.
+	workers []chan *stripeJob
+}
+
+// NewInterleaveSet builds and commits an interleave set: every port
+// must be trained against a Type-3 (burst-capable) endpoint, and each
+// endpoint is programmed with the per-target interleaved HDM decoder
+// for the shared window at base. The window size is ways × share, where
+// share is the smallest member HDM rounded down to a granule multiple.
+// A granule of 0 selects DefaultInterleaveGranule; a base of 0 selects
+// DefaultCXLWindowBase.
+func NewInterleaveSet(name string, base, granule uint64, ports ...*RootPort) (*InterleaveSet, error) {
+	ways := len(ports)
+	if ways < 1 || ways > MaxInterleaveWays {
+		return nil, fmt.Errorf("cxl: %s: %d interleave ways outside 1..%d", name, ways, MaxInterleaveWays)
+	}
+	if granule == 0 {
+		granule = DefaultInterleaveGranule
+	}
+	if granule%uint64(LineSize) != 0 {
+		return nil, fmt.Errorf("cxl: %s: granule %d not a multiple of the %d-byte line", name, granule, LineSize)
+	}
+	if base == 0 {
+		base = DefaultCXLWindowBase
+	}
+	if base%granule != 0 {
+		return nil, fmt.Errorf("cxl: %s: base %#x not granule-aligned", name, base)
+	}
+
+	share := ^uint64(0)
+	type programmer interface{ ProgramDecoder(*HDMDecoder) error }
+	for i, rp := range ports {
+		ep := rp.Endpoint()
+		if ep == nil || rp.State() != LinkUp {
+			return nil, fmt.Errorf("cxl: %s: leg %d (%s): link down", name, i, rp.Name())
+		}
+		dvsec, ok := ep.Config().FindCXLDVSEC()
+		if !ok || dvsec.Caps&CapMem == 0 || dvsec.HDMSize == 0 {
+			return nil, fmt.Errorf("cxl: %s: leg %d endpoint %s advertises no HDM", name, i, ep.Name())
+		}
+		if _, ok := ep.(BurstHandler); !ok {
+			// Strided leg bursts need the endpoint's native burst path;
+			// the port-level per-line fallback assumes HPA-contiguous
+			// spans and would mis-address an interleaved window.
+			return nil, fmt.Errorf("cxl: %s: leg %d endpoint %s cannot service bursts natively", name, i, ep.Name())
+		}
+		if _, ok := ep.(programmer); !ok {
+			return nil, fmt.Errorf("cxl: %s: leg %d endpoint %s cannot program decoders", name, i, ep.Name())
+		}
+		if dvsec.HDMSize < share {
+			share = dvsec.HDMSize
+		}
+	}
+	share -= share % granule
+	if share == 0 {
+		return nil, fmt.Errorf("cxl: %s: member HDM smaller than one %d-byte granule", name, granule)
+	}
+
+	s := &InterleaveSet{
+		name:    name,
+		ports:   ports,
+		base:    base,
+		size:    share * uint64(ways),
+		share:   share,
+		granule: granule,
+	}
+	for i, rp := range ports {
+		dec := &HDMDecoder{
+			Base:              base,
+			Size:              s.size,
+			InterleaveWays:    ways,
+			InterleaveGranule: granule,
+			TargetIndex:       i,
+		}
+		if err := rp.Endpoint().(programmer).ProgramDecoder(dec); err != nil {
+			return nil, fmt.Errorf("cxl: %s: leg %d: %w", name, i, err)
+		}
+	}
+	for leg := 1; leg < ways; leg++ {
+		ch := make(chan *stripeJob)
+		s.workers = append(s.workers, ch)
+		go legWorker(ch)
+	}
+	// Backstop for abandoned sets (a topology torn down without Close):
+	// parked workers reference only their channel, never s, so an
+	// unreachable set finalises and the workers exit. Explicit Close
+	// remains the deterministic path and clears the finalizer.
+	if len(s.workers) > 0 {
+		runtime.SetFinalizer(s, (*InterleaveSet).Close)
+	}
+	return s, nil
+}
+
+// Close stops the leg workers (idempotent). In-flight transfers finish
+// — a worker drains its current job before seeing the closed channel —
+// but transfers issued after Close panic.
+func (s *InterleaveSet) Close() {
+	runtime.SetFinalizer(s, nil)
+	for _, ch := range s.workers {
+		close(ch)
+	}
+	s.workers = nil
+}
+
+// Name identifies the set.
+func (s *InterleaveSet) Name() string { return s.name }
+
+// Ways returns the interleave width.
+func (s *InterleaveSet) Ways() int { return len(s.ports) }
+
+// Granule returns the stripe unit in bytes.
+func (s *InterleaveSet) Granule() uint64 { return s.granule }
+
+// Base returns the first HPA of the striped window.
+func (s *InterleaveSet) Base() uint64 { return s.base }
+
+// Size returns the window length in bytes (ways × per-target share).
+func (s *InterleaveSet) Size() uint64 { return s.size }
+
+// Ports lists the member root ports in target order.
+func (s *InterleaveSet) Ports() []*RootPort {
+	out := make([]*RootPort, len(s.ports))
+	copy(out, s.ports)
+	return out
+}
+
+// Route returns the member port owning the granule at hpa (port 0 for
+// addresses outside the window — the port's own decode then reports the
+// error).
+func (s *InterleaveSet) Route(hpa uint64) *RootPort {
+	if len(s.ports) == 1 || hpa < s.base || hpa >= s.base+s.size {
+		return s.ports[0]
+	}
+	return s.ports[((hpa-s.base)/s.granule)%uint64(len(s.ports))]
+}
+
+// ReadLine fetches one line through the owning leg.
+func (s *InterleaveSet) ReadLine(hpa uint64, out *[LineSize]byte) error {
+	return s.Route(hpa).ReadLine(hpa, out)
+}
+
+// WriteLine stores one line through the owning leg.
+func (s *InterleaveSet) WriteLine(hpa uint64, data *[LineSize]byte) error {
+	return s.Route(hpa).WriteLine(hpa, data)
+}
+
+// WriteBurst stores p at the line-aligned HPA hpa, striping the lines
+// across the member ports; len(p) must be a multiple of LineSize and
+// the span must stay inside the window.
+func (s *InterleaveSet) WriteBurst(hpa uint64, p []byte) error {
+	return s.do(true, hpa, p)
+}
+
+// ReadBurst fetches len(p) bytes from the line-aligned HPA hpa across
+// the member ports; the same constraints as WriteBurst apply.
+func (s *InterleaveSet) ReadBurst(hpa uint64, p []byte) error {
+	return s.do(false, hpa, p)
+}
+
+// do validates the span, fans legs 1..n-1 out to their workers, runs
+// leg 0 inline and gathers the first error. A failing leg aborts its
+// own remaining chunks only; striped transfers are atomic per leg
+// burst, not across legs (matching multi-channel memory semantics —
+// see DESIGN.md §2d).
+func (s *InterleaveSet) do(write bool, hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return &PortError{Port: s.name, Op: s.op(write), Addr: hpa, Why: "unaligned burst"}
+	}
+	if hpa < s.base || hpa+uint64(len(p)) > s.base+s.size {
+		return &PortError{Port: s.name, Op: s.op(write), Addr: hpa, Why: "outside interleave window"}
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	ways := len(s.ports)
+	if ways == 1 {
+		return s.runLeg(0, write, hpa, p)
+	}
+	c := stripeCallPool.Get().(*stripeCall)
+	c.wg.Add(ways - 1)
+	for leg := 1; leg < ways; leg++ {
+		j := &c.jobs[leg]
+		j.set, j.wg, j.leg, j.write, j.hpa, j.p, j.err = s, &c.wg, leg, write, hpa, p, nil
+		select {
+		case s.workers[leg-1] <- j:
+		default:
+			// Leg worker mid-job (a concurrent striped call): overflow
+			// onto a transient goroutine so callers fan out over the
+			// port's virtual channels instead of queueing. A lone
+			// caller always finds its workers parked, keeping the
+			// steady state allocation-free.
+			go runStripeJob(j)
+		}
+	}
+	err := s.runLeg(0, write, hpa, p)
+	c.wg.Wait()
+	for leg := 1; leg < ways; leg++ {
+		if err == nil && c.jobs[leg].err != nil {
+			err = c.jobs[leg].err
+		}
+		c.jobs[leg].set, c.jobs[leg].p = nil, nil
+	}
+	stripeCallPool.Put(c)
+	return err
+}
+
+func (s *InterleaveSet) op(write bool) string {
+	if write {
+		return "MemWrBurst(striped)"
+	}
+	return "MemRdBurst(striped)"
+}
+
+// runLeg moves one leg's share of the span [hpa, hpa+len(p)): the
+// intersection of the span with the granules owned by this target.
+// Consecutive target-owned lines map to a contiguous DPA span at the
+// endpoint, so the leg's lines travel as maximal strided bursts — one
+// header and one media access per MaxBurstLines lines — never as
+// per-line transactions.
+func (s *InterleaveSet) runLeg(leg int, write bool, hpa uint64, p []byte) error {
+	rp := s.ports[leg]
+	g := s.granule
+	stride := g * uint64(len(s.ports))
+	off := hpa - s.base
+	end := off + uint64(len(p))
+	legOff := uint64(leg) * g
+
+	// First owned granule intersecting the span.
+	var k uint64
+	if off > legOff {
+		k = (off - legOff) / stride
+		if k*stride+legOff+g <= off {
+			k++
+		}
+	}
+
+	if g >= uint64(maxBurstBytes) {
+		// Wide granules: every owned piece is an HPA-contiguous slice
+		// of the caller's buffer, so it bursts zero-copy straight from
+		// there; the port chunks it into maximal bursts internally.
+		for {
+			gs := k*stride + legOff
+			if gs >= end {
+				return nil
+			}
+			lo, hi := gs, gs+g
+			if lo < off {
+				lo = off
+			}
+			if hi > end {
+				hi = end
+			}
+			var err error
+			if write {
+				err = rp.WriteBurst(s.base+lo, p[lo-off:hi-off])
+			} else {
+				err = rp.ReadBurst(s.base+lo, p[lo-off:hi-off])
+			}
+			if err != nil {
+				return err
+			}
+			k++
+		}
+	}
+
+	// Narrow granules: gather owned pieces into pooled scratch and move
+	// them as one strided burst per full chunk, amortising the header
+	// and completion flits over MaxBurstLines data beats regardless of
+	// granule size.
+	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
+	fill := 0
+	var chunkStart uint64 // window offset of the chunk's first line
+	for {
+		gs := k*stride + legOff
+		if gs >= end {
+			break
+		}
+		lo, hi := gs, gs+g
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		for lo < hi {
+			if fill == 0 {
+				chunkStart = lo
+			}
+			take := int(hi - lo)
+			if take > maxBurstBytes-fill {
+				take = maxBurstBytes - fill
+			}
+			if write {
+				copy(buf[fill:fill+take], p[lo-off:])
+			}
+			fill += take
+			lo += uint64(take)
+			if fill == maxBurstBytes {
+				if err := s.moveChunk(rp, leg, write, chunkStart, buf[:fill], p, off); err != nil {
+					burstBufPool.Put(buf)
+					return err
+				}
+				fill = 0
+			}
+		}
+		k++
+	}
+	var err error
+	if fill > 0 {
+		err = s.moveChunk(rp, leg, write, chunkStart, buf[:fill], p, off)
+	}
+	burstBufPool.Put(buf)
+	return err
+}
+
+// moveChunk flushes one gathered chunk over the leg's port: the chunk
+// holds consecutive target-owned lines starting at window offset
+// chunkStart. Reads scatter the returned lines back into the caller's
+// buffer.
+func (s *InterleaveSet) moveChunk(rp *RootPort, leg int, write bool, chunkStart uint64, chunk, p []byte, off uint64) error {
+	if write {
+		return rp.WriteBurst(s.base+chunkStart, chunk)
+	}
+	if err := rp.ReadBurst(s.base+chunkStart, chunk); err != nil {
+		return err
+	}
+	s.scatter(leg, chunkStart, chunk, p, off)
+	return nil
+}
+
+// scatter copies a just-read strided chunk into the caller's buffer:
+// chunk holds the target-owned lines starting at window offset
+// chunkStart, in HPA order.
+func (s *InterleaveSet) scatter(leg int, chunkStart uint64, chunk, p []byte, off uint64) {
+	g := s.granule
+	stride := g * uint64(len(s.ports))
+	legOff := uint64(leg) * g
+	k := (chunkStart - legOff) / stride
+	pos := chunkStart
+	for len(chunk) > 0 {
+		hi := k*stride + legOff + g
+		n := int(hi - pos)
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		copy(p[pos-off:], chunk[:n])
+		chunk = chunk[n:]
+		k++
+		pos = k*stride + legOff
+	}
+}
+
+// ReadAt copies len(p) bytes from HPA off, mirroring RootPort.ReadAt:
+// unaligned head and tail fragments go as line transactions through the
+// owning leg, the line-aligned interior as striped bursts.
+func (s *InterleaveSet) ReadAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	if lo := int(hpa % uint64(LineSize)); lo != 0 {
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := s.Route(hpa).ReadAt(p[:n], int64(hpa)); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	if n := len(p) &^ (LineSize - 1); n > 0 {
+		if err := s.do(false, hpa, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	if len(p) > 0 {
+		return s.Route(hpa).ReadAt(p, int64(hpa))
+	}
+	return nil
+}
+
+// WriteAt stores p at HPA off: head/tail fragments become byte-masked
+// partial writes on the owning leg, the interior striped bursts.
+func (s *InterleaveSet) WriteAt(p []byte, off int64) error {
+	hpa := uint64(off)
+	if lo := int(hpa % uint64(LineSize)); lo != 0 {
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := s.Route(hpa).WriteAt(p[:n], int64(hpa)); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	if n := len(p) &^ (LineSize - 1); n > 0 {
+		if err := s.do(true, hpa, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		hpa += uint64(n)
+	}
+	if len(p) > 0 {
+		return s.Route(hpa).WriteAt(p, int64(hpa))
+	}
+	return nil
+}
+
+func (s *InterleaveSet) String() string {
+	return fmt.Sprintf("%s: %d-way@%dB stripe [%#x, %#x)", s.name, len(s.ports), s.granule, s.base, s.base+s.size)
+}

@@ -331,6 +331,17 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 // fault injection, tracing and CRC/retry fire per flit — but the
 // endpoint services the whole burst with a single HDM access, so bulk
 // transfers cost O(bytes) instead of O(lines × codec round trips).
+//
+// Addressing semantics follow the endpoint's HDM decoder, as on real
+// hardware. Through a plain decoder a burst covers the contiguous HPA
+// span [hpa, hpa+len). Through an *interleaved* decoder it covers the
+// next len/LineSize lines *owned by that target* starting at hpa —
+// the device never sees other targets' granules, so Lines counts its
+// own (see Type3Device.decodeSpan). A host talking to one leg of an
+// interleave set must therefore be interleave-aware: use
+// InterleaveSet, which performs the granule fan-out and hands each
+// port exactly its owned lines, rather than issuing HPA-contiguous
+// bursts at an interleaved window directly.
 
 // sendHeader pushes one request flit (line transaction or burst
 // header) over the wire with link-level retry — a flit corrupted in

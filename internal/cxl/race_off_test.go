@@ -1,0 +1,9 @@
+//go:build !race
+
+package cxl
+
+// raceEnabled reports whether the race detector is active. Allocation
+// guards skip under it: sync.Pool deliberately drops a fraction of Puts
+// when race-instrumented, so pooled paths show spurious allocations
+// that say nothing about the production build.
+const raceEnabled = false

@@ -212,3 +212,24 @@ func NewPCIe(name string, kind Kind, lanes int, latency units.Latency) (*Link, e
 	}
 	return &Link{Name: name, Kind: kind, Lanes: lanes, Latency: latency}, nil
 }
+
+// NewStriped builds the aggregate fabric of an n-way interleave set:
+// n identical member links the host stripes granules across. Legs
+// traverse in parallel, so the aggregate keeps one member's latency
+// while the payload cap sums — the analytic model's view of what
+// cxl.InterleaveSet does on the simulated wire.
+func NewStriped(name string, n int, member *Link) (*Link, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("interconnect: %s: invalid stripe width %d", name, n)
+	}
+	if member == nil {
+		return nil, fmt.Errorf("interconnect: %s: nil member link", name)
+	}
+	return &Link{
+		Name:    name,
+		Kind:    member.Kind,
+		Lanes:   member.Lanes * n,
+		Latency: member.Latency,
+		Cap:     units.Bandwidth(float64(member.EffectiveCap()) * float64(n)),
+	}, nil
+}

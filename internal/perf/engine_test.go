@@ -372,3 +372,73 @@ func TestAccessModeString(t *testing.T) {
 		t.Error("mode strings")
 	}
 }
+
+// --- Interleave scaling: an N-way-striped CXL window multiplies the
+// device-side and fabric caps by N, so modelled STREAM bandwidth climbs
+// with the way count until per-thread demand (Little's law over the
+// unchanged access latency) becomes the binding constraint — the same
+// saturation shape the paper's §2.2 bandwidth-lever discussion implies.
+func TestInterleaveScalingCurve(t *testing.T) {
+	rate := func(ways int) (Result, units.Bandwidth) {
+		m, _, err := topology.Setup1(topology.Setup1Options{InterleaveWays: ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2, err := m.Node(2); err == nil && n2.Stripe != nil {
+			t.Cleanup(n2.Stripe.Close)
+		}
+		e := New(m)
+		cores := socketCores(t, e, 0, 10)
+		r := run(t, e, cores, 2, mixCopy, MemoryMode)
+		return r, r.Total
+	}
+	_, w1 := rate(1)
+	_, w2 := rate(2)
+	r4, w4 := rate(4)
+	_, w8 := rate(8)
+	if !(w1 < w2 && w2 < w4 && w4 <= w8) {
+		t.Fatalf("scaling not monotone: %v / %v / %v / %v", w1, w2, w4, w8)
+	}
+	// 2-way doubles an IP-slice-bound window almost exactly.
+	if ratio := float64(w2) / float64(w1); ratio < 1.95 || ratio > 2.05 {
+		t.Errorf("2-way ratio = %.2f, want ~2.0", ratio)
+	}
+	// 4-way runs into per-thread demand (10 threads × MLP-limited
+	// stream), so the gain is real but sub-linear.
+	if ratio := float64(w4) / float64(w1); ratio < 2.5 {
+		t.Errorf("4-way ratio = %.2f, want >= 2.5", ratio)
+	}
+	if r4.Bottleneck == "device" && float64(w4) < 0.99*float64(r4.DeviceCap) {
+		t.Errorf("4-way claims device bottleneck below the cap: %v < %v", w4, r4.DeviceCap)
+	}
+	// Past saturation, more ways change nothing: latency, not
+	// bandwidth, is now the wall — exactly why the ablations stop at 8.
+	if ratio := float64(w8) / float64(w4); ratio > 1.35 {
+		t.Errorf("8-way/4-way ratio = %.2f: expected demand saturation", ratio)
+	}
+	// The latency story is unchanged by striping: leg fan-out does not
+	// shorten a single access.
+	m1, _, err := topology.Setup1(topology.Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, _, err := topology.Setup1(topology.Setup1Options{InterleaveWays: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2, err := m4.Node(2); err == nil && n2.Stripe != nil {
+		t.Cleanup(n2.Stripe.Close)
+	}
+	c0, _ := m1.Core(0)
+	l1, err := m1.AccessLatency(c0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, err := m4.AccessLatency(c0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l4 {
+		t.Errorf("striping changed access latency: %v -> %v", l1, l4)
+	}
+}

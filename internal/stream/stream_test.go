@@ -338,3 +338,66 @@ func TestRateAndHeader(t *testing.T) {
 		t.Errorf("result string = %q", s)
 	}
 }
+
+// TestStripedStreamScaling wires STREAM to the interleaved Setup #1
+// variants: the same Bench against an N-way-striped CXL node reports
+// the scaled rate for every kernel, giving the EXPERIMENTS.md 1/2/4/8
+// curve in one call.
+func TestStripedStreamScaling(t *testing.T) {
+	triad := func(ways int) float64 {
+		m, _, err := topology.Setup1(topology.Setup1Options{InterleaveWays: ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2, err := m.Node(2); err == nil && n2.Stripe != nil {
+			t.Cleanup(n2.Stripe.Close)
+		}
+		cores, err := numa.PlaceOnSocket(m, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &Bench{Engine: perf.New(m), Cores: cores, Node: 2, Mode: perf.AppDirect}
+		r, err := b.Rate(Triad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.GBps()
+	}
+	w1, w2, w4 := triad(1), triad(2), triad(4)
+	if ratio := w2 / w1; ratio < 1.95 || ratio > 2.05 {
+		t.Errorf("2-way STREAM Triad ratio = %.2f, want ~2.0", ratio)
+	}
+	if ratio := w4 / w1; ratio < 2.5 {
+		t.Errorf("4-way STREAM Triad ratio = %.2f, want >= 2.5", ratio)
+	}
+	// The full Bench.Run report works over a striped node too (model
+	// plus real data movement and validation).
+	m, _, err := topology.Setup1(topology.Setup1Options{InterleaveWays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2, err := m.Node(2); err == nil && n2.Stripe != nil {
+		t.Cleanup(n2.Stripe.Close)
+	}
+	cores, err := numa.PlaceOnSocket(m, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Bench{Engine: perf.New(m), Cores: cores, Node: 2, Mode: perf.AppDirect}
+	arr, err := NewVolatileArrays(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(arr, Config{NTimes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(Ops) {
+		t.Fatalf("striped bench returned %d results", len(res))
+	}
+	for _, r := range res {
+		if r.BestRate <= 0 {
+			t.Errorf("%s: non-positive striped rate", r.Op)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package tiering
+
+// raceEnabled reports whether the race detector is active. The
+// allocation guard skips under it: sync.Pool deliberately drops a
+// fraction of Puts when race-instrumented, so the pooled migration
+// scratch shows spurious allocations there.
+const raceEnabled = false

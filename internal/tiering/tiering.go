@@ -182,6 +182,15 @@ func (m *Manager) Heat(id PageID) (uint64, error) {
 	return st.accesses, nil
 }
 
+// pagePool recycles migration staging buffers: a Rebalance over a hot
+// working set moves many pages back to back, and a fresh 2 MiB
+// allocation per move (two per swap) is pure GC pressure — the buffers
+// never outlive the copy.
+var pagePool = sync.Pool{New: func() any {
+	b := make([]byte, PageSize)
+	return &b
+}}
+
 // migrate physically moves a page between tiers. Caller holds the lock
 // and has verified a free slot exists on dst.
 func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
@@ -189,7 +198,9 @@ func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
 	dstT := m.tiers[dst]
 	srcOff := src.used[id]
 	dstOff := dstT.free[len(dstT.free)-1]
-	buf := make([]byte, PageSize)
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
 	if err := src.Node.Device.ReadAt(buf, srcOff); err != nil {
 		return err
 	}
@@ -310,8 +321,11 @@ func (m *Manager) Rebalance() (int, error) {
 func (m *Manager) swap(idA PageID, stA *pageState, idB PageID, stB *pageState) error {
 	tA, tB := m.tiers[stA.tier], m.tiers[stB.tier]
 	offA, offB := tA.used[idA], tB.used[idB]
-	bufA := make([]byte, PageSize)
-	bufB := make([]byte, PageSize)
+	bufAp := pagePool.Get().(*[]byte)
+	bufBp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufAp)
+	defer pagePool.Put(bufBp)
+	bufA, bufB := *bufAp, *bufBp
 	if err := tA.Node.Device.ReadAt(bufA, offA); err != nil {
 		return err
 	}

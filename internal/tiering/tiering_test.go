@@ -2,6 +2,7 @@ package tiering
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -308,4 +309,62 @@ func hierarchyQuick() (*Manager, *topology.Machine) {
 		panic(err)
 	}
 	return mgr, hybrid
+}
+
+// TestMigrationUsesPooledScratch guards the migration staging buffers:
+// after warm-up, ping-ponging a page between tiers must not allocate a
+// fresh 2 MiB buffer per move (the pool absorbs them), and the byte
+// accounting must stay exact for both migrate and swap.
+func TestMigrationUsesPooledScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector")
+	}
+	mgr, _ := hierarchy(t, 1, 2, 2)
+	id, err := mgr.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.pages[id]
+	// Warm up: materialise the media pages on both sides and seed the
+	// scratch pool.
+	if err := mgr.migrate(id, st, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.migrate(id, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := mgr.bytesMigrated
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	const moves = 8
+	for i := 0; i < moves; i++ {
+		if err := mgr.migrate(id, st, 1-st.tier); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	if got := mgr.bytesMigrated - before; got != moves*2*PageSize {
+		t.Errorf("bytesMigrated advanced by %d, want %d", got, moves*2*PageSize)
+	}
+	// 8 moves stage 16 MiB through scratch; pooled staging must keep
+	// total allocation far below one page-sized buffer per move.
+	if grown := ms1.TotalAlloc - ms0.TotalAlloc; grown > PageSize {
+		t.Errorf("%d bytes allocated across %d migrations, want < one page", grown, moves)
+	}
+	// The swap path shares the pool and keeps its 4-page accounting.
+	id2, err := mgr.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := mgr.pages[id2]
+	if st2.tier == st.tier {
+		t.Fatal("test setup: pages landed on the same tier")
+	}
+	before = mgr.bytesMigrated
+	if err := mgr.swap(id, st, id2, st2); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.bytesMigrated - before; got != 4*PageSize {
+		t.Errorf("swap advanced bytesMigrated by %d, want %d", got, 4*PageSize)
+	}
 }

@@ -83,6 +83,15 @@ type Setup1Options struct {
 	FPGA fpga.Options
 	// IPSlices scales the CXL IP throughput (default 1 slice).
 	IPSlices int
+	// InterleaveWays stripes the CXL window across this many identical
+	// prototype cards, each on its own root port (default 1 — the
+	// paper's single card). This is the §6 bandwidth-scaling lever:
+	// the node's device cap and fabric cap both multiply by the way
+	// count, and node 2's data path becomes a cxl.InterleaveSet.
+	InterleaveWays int
+	// InterleaveGranule is the stripe unit in bytes
+	// (cxl.DefaultInterleaveGranule if zero).
+	InterleaveGranule uint64
 }
 
 // Setup1 builds the paper's Setup #1 (Figure 2): two SPR sockets, one
@@ -117,21 +126,6 @@ func Setup1(opts Setup1Options) (*Machine, *fpga.Prototype, error) {
 		})
 	}
 
-	card, err := fpga.New(opts.FPGA)
-	if err != nil {
-		return nil, nil, err
-	}
-	rp := cxl.NewRootPort("rp0", card.Link())
-	if err := rp.Attach(card); err != nil {
-		return nil, nil, err
-	}
-	h, err := cxl.Enumerate(0, rp)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(h.Windows) != 1 {
-		return nil, nil, fmt.Errorf("topology: setup1: enumerated %d windows, want 1", len(h.Windows))
-	}
 	slices := opts.IPSlices
 	if slices == 0 {
 		slices = 1
@@ -139,20 +133,77 @@ func Setup1(opts Setup1Options) (*Machine, *fpga.Prototype, error) {
 	if slices < 0 {
 		return nil, nil, fmt.Errorf("topology: setup1: negative IP slices")
 	}
-	m.Nodes = append(m.Nodes, &Node{
+	ways := opts.InterleaveWays
+	if ways == 0 {
+		ways = 1
+	}
+	if ways < 0 || ways > cxl.MaxInterleaveWays {
+		return nil, nil, fmt.Errorf("topology: setup1: %d interleave ways outside 1..%d", ways, cxl.MaxInterleaveWays)
+	}
+
+	// One prototype card per interleave leg, each on its own root port.
+	cards := make([]*fpga.Prototype, ways)
+	ports := make([]*cxl.RootPort, ways)
+	for i := range cards {
+		legOpts := opts.FPGA
+		if ways > 1 {
+			name := opts.FPGA.Name
+			if name == "" {
+				name = "agilex7-cxl"
+			}
+			legOpts.Name = fmt.Sprintf("%s-leg%d", name, i)
+		}
+		card, err := fpga.New(legOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cards[i] = card
+		ports[i] = cxl.NewRootPort(fmt.Sprintf("rp%d", i), card.Link())
+		if err := ports[i].Attach(card); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	node := &Node{
 		ID:           2,
 		Kind:         NodeCXL,
-		Device:       card.Media(),
+		Device:       cards[0].Media(),
 		HomeSocket:   -1,
 		AttachSocket: 0,
 		IPCap:        units.GBps(cxlIPSliceGBps * float64(slices)),
-		Port:         rp,
-		Window:       h.Windows[0],
-	})
+		Port:         ports[0],
+		Ports:        ports,
+	}
+	if ways == 1 {
+		// The paper's configuration: enumerate the single card.
+		h, err := cxl.Enumerate(0, ports[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(h.Windows) != 1 {
+			return nil, nil, fmt.Errorf("topology: setup1: enumerated %d windows, want 1", len(h.Windows))
+		}
+		node.Window = h.Windows[0]
+	} else {
+		// Striped configuration: the interleave set programs the
+		// per-target decoders itself, standing in for enumeration.
+		stripe, err := cxl.NewInterleaveSet("cxl-stripe", cxl.DefaultCXLWindowBase, opts.InterleaveGranule, ports...)
+		if err != nil {
+			return nil, nil, err
+		}
+		node.InterleaveWays = ways
+		node.Stripe = stripe
+		node.Window = cxl.MemWindow{Port: ports[0], Endpoint: cards[0], Base: stripe.Base(), Size: stripe.Size()}
+		node.Fabric, err = interconnect.NewStriped("cxl-stripe-fabric", ways, ports[0].Link())
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	m.Nodes = append(m.Nodes, node)
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
-	return m, card, nil
+	return m, cards[0], nil
 }
 
 // Setup2 builds the paper's Setup #2 (Figure 3): two Xeon Gold 5215

@@ -110,16 +110,35 @@ type Node struct {
 	// Port and Window are the enumerated CXL plumbing (CXL nodes only).
 	Port   *cxl.RootPort
 	Window cxl.MemWindow
+	// InterleaveWays, when > 1, marks a striped CXL node: the window is
+	// interleaved across this many identical device+port legs. Device
+	// and IPCap then describe ONE leg; EffectiveCap scales them by the
+	// way count, exactly as the striped data path multiplies measured
+	// bandwidth.
+	InterleaveWays int
+	// Stripe is the striped data path of an interleaved node (the
+	// real-transfer counterpart of the modelled scaling).
+	Stripe *cxl.InterleaveSet
+	// Ports lists every leg's root port for interleaved nodes
+	// (Port == Ports[0]).
+	Ports []*cxl.RootPort
+	// Fabric, when set, replaces Port.Link() in paths: the aggregate
+	// striped link of an interleaved node (interconnect.NewStriped).
+	Fabric *interconnect.Link
 }
 
 // EffectiveCap is the device-side throughput bound for a traffic mix
-// with the given read fraction: the media's sustainable rate, further
-// clamped by the CXL IP cap when present. Fabric caps are applied
-// separately per path by the performance engine.
+// with the given read fraction: one leg's media rate clamped by its CXL
+// IP cap, multiplied by the interleave width — N devices serve an
+// N-way-striped window in parallel. Fabric caps are applied separately
+// per path by the performance engine.
 func (n *Node) EffectiveCap(readFrac float64) units.Bandwidth {
 	cap := n.Device.Profile().StreamPeak(readFrac)
 	if n.IPCap > 0 && n.IPCap < cap {
 		cap = n.IPCap
+	}
+	if n.InterleaveWays > 1 {
+		cap = units.Bandwidth(float64(cap) * float64(n.InterleaveWays))
 	}
 	return cap
 }
@@ -214,13 +233,17 @@ func (m *Machine) Path(c Core, id NodeID) (interconnect.Path, error) {
 		if n.Port == nil {
 			return interconnect.Path{}, fmt.Errorf("topology: %s: CXL node %d has no port", m.Name, id)
 		}
+		link := n.Port.Link()
+		if n.Fabric != nil {
+			link = n.Fabric // striped node: legs traverse in parallel
+		}
 		if c.Socket == n.AttachSocket {
-			return interconnect.Path{Links: []*interconnect.Link{n.Port.Link()}}, nil
+			return interconnect.Path{Links: []*interconnect.Link{link}}, nil
 		}
 		if m.UPI == nil {
 			return interconnect.Path{}, fmt.Errorf("topology: %s: core %d cannot reach CXL node %d without UPI", m.Name, c.ID, id)
 		}
-		return interconnect.Path{Links: []*interconnect.Link{m.UPI, n.Port.Link()}}, nil
+		return interconnect.Path{Links: []*interconnect.Link{m.UPI, link}}, nil
 	default:
 		return interconnect.Path{}, fmt.Errorf("topology: %s: node %d has unknown kind", m.Name, id)
 	}

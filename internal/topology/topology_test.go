@@ -269,3 +269,86 @@ func TestDescribe(t *testing.T) {
 		t.Error("unknown NodeKind string empty")
 	}
 }
+
+// TestSetup1Interleaved checks the striped Setup #1 variant: N cards on
+// N root ports behind one interleaved node, with the device and fabric
+// caps scaling by the way count and the striped data path carrying real
+// traffic end to end.
+func TestSetup1Interleaved(t *testing.T) {
+	single, _, err := Setup1(Setup1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, card, err := Setup1(Setup1Options{
+		FPGA:           fpga.Options{ChannelCapacity: 8 * units.MiB},
+		InterleaveWays: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card == nil {
+		t.Fatal("no leg-0 card returned")
+	}
+	n2, err := m.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Stripe != nil {
+		t.Cleanup(n2.Stripe.Close)
+	}
+	if n2.InterleaveWays != 4 || n2.Stripe == nil || len(n2.Ports) != 4 {
+		t.Fatalf("striped node shape: ways=%d stripe=%v ports=%d", n2.InterleaveWays, n2.Stripe, len(n2.Ports))
+	}
+	if n2.Window.Size != n2.Stripe.Size() || n2.Window.Base != n2.Stripe.Base() {
+		t.Error("node window disagrees with the stripe geometry")
+	}
+
+	// Device-side cap scales by the way count.
+	s2, err := m.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := single.Node(2)
+	if got, want := s2.EffectiveCap(0.5).GBps(), 4*base.EffectiveCap(0.5).GBps(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("striped EffectiveCap = %.2f GB/s, want %.2f", got, want)
+	}
+
+	// The path traverses the aggregate striped fabric with 4x the
+	// member cap and unchanged latency.
+	c0, err := m.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Path(c0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Links) != 1 || p.Links[0] != n2.Fabric {
+		t.Fatalf("striped path = %v, want the aggregate fabric link", p)
+	}
+	member := n2.Ports[0].Link()
+	if got, want := p.Links[0].EffectiveCap().GBps(), 4*member.EffectiveCap().GBps(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("striped fabric cap = %.2f GB/s, want %.2f", got, want)
+	}
+	if p.Latency() != member.Latency {
+		t.Errorf("striped fabric latency = %v, want one member traversal %v", p.Latency(), member.Latency)
+	}
+
+	// Real traffic round-trips through the striped window.
+	in := make([]byte, 64<<10)
+	for i := range in {
+		in[i] = byte(i * 13)
+	}
+	if err := n2.Stripe.WriteBurst(n2.Window.Base, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := n2.Stripe.ReadBurst(n2.Window.Base, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("striped round trip mismatch at byte %d", i)
+		}
+	}
+}

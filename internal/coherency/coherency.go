@@ -17,6 +17,7 @@ package coherency
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 )
 
 // Accessor is the raw path to the shared device memory (a CXL root
@@ -123,6 +124,11 @@ func (h *Host) Acquire() error {
 		if of == 0 || turn == uint64(h.id) {
 			break
 		}
+		// Busy-waiting on device words must not starve the peer's
+		// goroutine of a P: on a single-CPU runner (the race job pins
+		// GOMAXPROCS in places) the contended path would otherwise spin
+		// a full scheduler quantum per handover.
+		runtime.Gosched()
 	}
 	gen, err := h.word(offGen)
 	if err != nil {

@@ -1,74 +1,47 @@
-package coherency
+package coherency_test
 
 import (
 	"encoding/binary"
 	"sync"
 	"testing"
 
-	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/coherency"
 	"cxlpmem/internal/fpga"
+	"cxlpmem/internal/topology"
 	"cxlpmem/internal/units"
 )
 
-// sharedDevice builds the paper's shared-HDM configuration: one FPGA
-// card with two HPA windows onto the same media, one root port per
-// simulated NUMA node.
-func sharedDevice(t *testing.T) (Accessor, Accessor) {
+// petersonSetup builds the paper's two-host shared-HDM configuration
+// through the same topology fixture the coherent engine uses
+// (topology.SetupShared with Coherent unset): one card, two HPA
+// windows onto the same media, one root port per simulated NUMA node,
+// Peterson's algorithm over device words.
+func petersonSetup(t testing.TB) *topology.SharedHDM {
 	t.Helper()
-	card, err := fpga.New(fpga.Options{ChannelCapacity: 4 * units.MiB})
+	s, err := topology.SetupShared(topology.SharedOptions{
+		Hosts:       2,
+		SegmentSize: 4096,
+		FPGA:        fpga.Options{ChannelCapacity: 4 * units.MiB},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two windows over the same media (paper §2.2).
-	const w0, w1 = 0x10_0000_0000, 0x20_0000_0000
-	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w0, Size: 8 << 20}); err != nil {
-		t.Fatal(err)
-	}
-	if err := card.ProgramDecoder(&cxl.HDMDecoder{Base: w1, Size: 8 << 20}); err != nil {
-		t.Fatal(err)
-	}
-	rp0 := cxl.NewRootPort("rp-node0", card.Link())
-	if err := rp0.Attach(card); err != nil {
-		t.Fatal(err)
-	}
-	link2, err := fpga.New(fpga.Options{Name: "dummy"}) // second physical port
-	_ = link2
-	if err != nil {
-		t.Fatal(err)
-	}
-	rp1 := cxl.NewRootPort("rp-node1", card.Link())
-	// A root port holds one endpoint; emulate the second NUMA node's
-	// port by a fresh port over the same link and endpoint.
-	if err := rp1.Attach(card); err != nil {
-		t.Fatal(err)
-	}
-	return &portAccessor{rp: rp0, base: w0}, &portAccessor{rp: rp1, base: w1}
+	return s
 }
 
-type portAccessor struct {
-	rp   *cxl.RootPort
-	base int64
-}
-
-func (a *portAccessor) ReadAt(p []byte, off int64) error  { return a.rp.ReadAt(p, a.base+off) }
-func (a *portAccessor) WriteAt(p []byte, off int64) error { return a.rp.WriteAt(p, a.base+off) }
-
-func pair(t *testing.T) (*Host, *Host) {
+func pair(t *testing.T) (*coherency.Host, *coherency.Host) {
 	t.Helper()
-	a0, a1 := sharedDevice(t)
-	h0, h1, err := NewPair(a0, a1, Segment{Base: 0, Size: 4096})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return h0, h1
+	s := petersonSetup(t)
+	return s.Hosts[0].Peterson, s.Hosts[1].Peterson
 }
 
 func TestValidation(t *testing.T) {
-	a0, a1 := sharedDevice(t)
-	if _, _, err := NewPair(nil, a1, Segment{Size: 64}); err == nil {
+	s := petersonSetup(t)
+	a0, a1 := s.Hosts[0].Accessor, s.Hosts[1].Accessor
+	if _, _, err := coherency.NewPair(nil, a1, coherency.Segment{Size: 64}); err == nil {
 		t.Error("nil accessor accepted")
 	}
-	if _, _, err := NewPair(a0, a1, Segment{Size: 0}); err == nil {
+	if _, _, err := coherency.NewPair(a0, a1, coherency.Segment{Size: 0}); err == nil {
 		t.Error("zero segment accepted")
 	}
 	h0, _ := pair(t)
@@ -168,7 +141,7 @@ func TestMutualExclusionCounter(t *testing.T) {
 	h0, h1 := pair(t)
 	const perHost = 50
 	var wg sync.WaitGroup
-	worker := func(h *Host) {
+	worker := func(h *coherency.Host) {
 		defer wg.Done()
 		for i := 0; i < perHost; i++ {
 			if err := h.Acquire(); err != nil {

@@ -1,0 +1,162 @@
+package coherency
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// A Wing&Gong-style linearizability checker for register semantics —
+// the proof harness behind the back-invalidate engine. Tests record
+// per-host operation histories (reads and writes of one 8-byte shared
+// word, with invocation/response timestamps) and the checker searches
+// for a linearization: a total order of the operations that (a)
+// respects real time — an operation that completed before another
+// began must order first — and (b) satisfies register semantics —
+// every read returns the most recently written value. Linearizability
+// is composable per object, so a multi-word test checks each word's
+// history independently.
+
+// OpKind classifies a recorded operation.
+type OpKind uint8
+
+const (
+	// OpRead is a Load: Value is what the host observed.
+	OpRead OpKind = iota
+	// OpWrite is a Store: Value is what the host wrote.
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	if k == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one recorded operation against a shared register.
+type Op struct {
+	// Host that issued the operation.
+	Host int
+	// Kind of access.
+	Kind OpKind
+	// Value written (OpWrite) or observed (OpRead).
+	Value uint64
+	// Invoke and Return are monotonic timestamps (nanoseconds) taken
+	// immediately before and after the operation.
+	Invoke int64
+	Return int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("host%d %s %d [%d,%d]", o.Host, o.Kind, o.Value, o.Invoke, o.Return)
+}
+
+// History is a merged multi-host operation record for ONE register.
+type History []Op
+
+// MaxHistoryOps bounds the checker's search state (one bit per
+// operation in the memoisation mask).
+const MaxHistoryOps = 64
+
+// linState is a memoisation key: which operations are already
+// linearised, and the register value they left behind.
+type linState struct {
+	done uint64
+	val  uint64
+}
+
+// CheckLinearizable reports whether the history has a linearization
+// under single-register semantics starting from init. On failure it
+// returns the prefix-maximal set of operations that could be
+// linearised, to aid debugging.
+func CheckLinearizable(h History, init uint64) (bool, error) {
+	n := len(h)
+	if n == 0 {
+		return true, nil
+	}
+	if n > MaxHistoryOps {
+		return false, fmt.Errorf("coherency: history of %d ops exceeds checker limit %d", n, MaxHistoryOps)
+	}
+	for _, o := range h {
+		if o.Return < o.Invoke {
+			return false, fmt.Errorf("coherency: operation %v returns before it invokes", o)
+		}
+	}
+	// Sorting by invocation makes the candidate scan below
+	// deterministic; correctness does not depend on it.
+	ops := append(History(nil), h...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	full := uint64(1)<<uint(n) - 1
+	if n == MaxHistoryOps {
+		full = ^uint64(0)
+	}
+	seen := make(map[linState]bool)
+	var best uint64
+
+	// Depth-first search over linearisation prefixes. At each step an
+	// operation may go next iff every operation that RETURNED before it
+	// was INVOKED has already been placed (the Wing&Gong minimality
+	// rule), and its value is consistent with the register.
+	var dfs func(done uint64, val uint64) bool
+	dfs = func(done uint64, val uint64) bool {
+		if done == full {
+			return true
+		}
+		st := linState{done: done, val: val}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		if bits.OnesCount64(done) > bits.OnesCount64(best) {
+			best = done
+		}
+		// frontier: the earliest return among unplaced operations. Any
+		// candidate must have invoked before it (<=: an op may
+		// linearise first even if it returns exactly when another
+		// starts).
+		minRet := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if done&(1<<uint(i)) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if done&bit != 0 || ops[i].Invoke > minRet {
+				continue
+			}
+			o := ops[i]
+			switch o.Kind {
+			case OpRead:
+				if o.Value != val {
+					continue
+				}
+				if dfs(done|bit, val) {
+					return true
+				}
+			case OpWrite:
+				if dfs(done|bit, o.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if dfs(0, init) {
+		return true, nil
+	}
+	// Build a readable refusal: the ops beyond the deepest prefix.
+	var stuck History
+	for i := 0; i < n; i++ {
+		if best&(1<<uint(i)) == 0 {
+			stuck = append(stuck, ops[i])
+		}
+	}
+	limit := stuck
+	if len(limit) > 6 {
+		limit = limit[:6]
+	}
+	return false, fmt.Errorf("coherency: history not linearizable; %d/%d ops placed, stuck at %v", bits.OnesCount64(best), n, limit)
+}

@@ -146,9 +146,11 @@ const flitBodySize = flitHeaderSize + LineSize
 const flitRawSize = flitBodySize + 4
 
 const (
-	flitKindReq  = 0
-	flitKindResp = 1
-	flitKindData = 2
+	flitKindReq   = 0
+	flitKindResp  = 1
+	flitKindData  = 2
+	flitKindBISnp = 3
+	flitKindBIRsp = 4
 )
 
 // Flit is the wire representation of a single request, response or burst
@@ -390,4 +392,180 @@ func BurstProtocolEfficiency(lines int) float64 {
 		lines = 1
 	}
 	return float64(lines*LineSize) / float64(BurstWireBytes(lines))
+}
+
+// --- Back-invalidate channel (CXL 3.0) -----------------------------------
+//
+// CXL 3.0 adds a subordinate-to-master Back-Invalidate Snoop channel
+// (S2M BISnp) and its master-to-subordinate response (M2S BIRsp): a
+// Type-3 device that tracks coherency state — a snoop-filter directory
+// over shared HDM — can recall a line from the host that caches it
+// before granting a conflicting access to another host. Dirty data does
+// NOT ride in the response: as on real hardware, the snooped host
+// writes the line back through its normal CXL.mem write path and the
+// BIRsp carries only the resulting state, which is why BIRsp is a
+// header-only message.
+
+// BISnpOpcode enumerates the snoop flavours the directory issues.
+type BISnpOpcode uint8
+
+const (
+	// SnpData asks the owner to write back any dirty copy and
+	// downgrade to Shared (another host wants to read).
+	SnpData BISnpOpcode = iota
+	// SnpInv asks the host to write back any dirty copy and drop the
+	// line entirely (another host wants exclusive ownership).
+	SnpInv
+)
+
+func (o BISnpOpcode) String() string {
+	switch o {
+	case SnpData:
+		return "BISnpData"
+	case SnpInv:
+		return "BISnpInv"
+	default:
+		return fmt.Sprintf("BISnpOpcode(%d)", uint8(o))
+	}
+}
+
+// BISnp is one S2M back-invalidate snoop. Addr is the device-relative
+// byte address of the 64-byte line (every host maps the shared segment
+// at a different HPA; the device's directory speaks DPA).
+type BISnp struct {
+	Opcode BISnpOpcode
+	Addr   uint64
+	Tag    uint16
+}
+
+// BIRspOpcode enumerates the host's snoop responses.
+type BIRspOpcode uint8
+
+const (
+	// RspIHit — the host held the line and has invalidated it (any
+	// dirty data was written back before this response was sent).
+	RspIHit BIRspOpcode = iota
+	// RspSHit — the host held the line and retains a Shared copy
+	// (SnpData downgrade; dirty data written back first).
+	RspSHit
+	// RspMiss — the host no longer holds the line. If the directory
+	// still records it as a holder, a victim write-back is in flight
+	// and the directory must wait for the matching release before
+	// granting the conflicting access.
+	RspMiss
+	// RspRetry — the host could not service the snoop (its dirty
+	// write-back failed); its cached state is UNCHANGED and the
+	// directory must abort the conflicting grant rather than assume
+	// the line was surrendered (CXL's BI conflict/retry flow).
+	RspRetry
+)
+
+func (o BIRspOpcode) String() string {
+	switch o {
+	case RspIHit:
+		return "BIRspIHit"
+	case RspSHit:
+		return "BIRspSHit"
+	case RspMiss:
+		return "BIRspMiss"
+	case RspRetry:
+		return "BIRspRetry"
+	default:
+		return fmt.Sprintf("BIRspOpcode(%d)", uint8(o))
+	}
+}
+
+// BIRsp is one M2S back-invalidate response.
+type BIRsp struct {
+	Opcode BIRspOpcode
+	Tag    uint16
+	// Dirty reports that the host wrote modified data back before
+	// responding (directory bookkeeping / statistics).
+	Dirty bool
+}
+
+// EncodeBISnpInto serialises a snoop into a caller-held flit without
+// allocating.
+func EncodeBISnpInto(f *Flit, s *BISnp) {
+	binary.LittleEndian.PutUint64(f.raw[0:8],
+		flitKindBISnp|uint64(s.Opcode)<<8|uint64(s.Tag)<<16)
+	binary.LittleEndian.PutUint64(f.raw[8:16], s.Addr)
+	binary.LittleEndian.PutUint64(f.raw[16:24], 0)
+	clearFlitPayload(f)
+	f.seal()
+}
+
+// DecodeBISnpInto parses a snoop flit into s without allocating.
+func DecodeBISnpInto(s *BISnp, f *Flit) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	if f.raw[0] != flitKindBISnp {
+		return &ErrFlit{Reason: "not a BISnp flit"}
+	}
+	w0 := binary.LittleEndian.Uint64(f.raw[0:8])
+	s.Opcode = BISnpOpcode(w0 >> 8)
+	if s.Opcode > SnpInv {
+		return &ErrFlit{Reason: fmt.Sprintf("unknown BISnp opcode %d", f.raw[1])}
+	}
+	s.Tag = uint16(w0 >> 16)
+	s.Addr = binary.LittleEndian.Uint64(f.raw[8:16])
+	return nil
+}
+
+// EncodeBIRspInto serialises a snoop response into a caller-held flit
+// without allocating.
+func EncodeBIRspInto(f *Flit, r *BIRsp) {
+	var dirty uint64
+	if r.Dirty {
+		dirty = 1
+	}
+	binary.LittleEndian.PutUint64(f.raw[0:8],
+		flitKindBIRsp|uint64(r.Opcode)<<8|uint64(r.Tag)<<16|dirty<<32)
+	binary.LittleEndian.PutUint64(f.raw[8:16], 0)
+	binary.LittleEndian.PutUint64(f.raw[16:24], 0)
+	clearFlitPayload(f)
+	f.seal()
+}
+
+// DecodeBIRspInto parses a snoop-response flit into r without
+// allocating.
+func DecodeBIRspInto(r *BIRsp, f *Flit) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	if f.raw[0] != flitKindBIRsp {
+		return &ErrFlit{Reason: "not a BIRsp flit"}
+	}
+	w0 := binary.LittleEndian.Uint64(f.raw[0:8])
+	r.Opcode = BIRspOpcode(w0 >> 8)
+	if r.Opcode > RspRetry {
+		return &ErrFlit{Reason: fmt.Sprintf("unknown BIRsp opcode %d", f.raw[1])}
+	}
+	r.Tag = uint16(w0 >> 16)
+	r.Dirty = w0>>32&1 == 1
+	return nil
+}
+
+// clearFlitPayload zeroes the 64-byte payload slot of a header-only
+// message so stale bytes from a reused flit never leak onto the wire.
+func clearFlitPayload(f *Flit) {
+	for i := flitHeaderSize; i < flitBodySize; i += 8 {
+		binary.LittleEndian.PutUint64(f.raw[i:], 0)
+	}
+}
+
+// Bytes returns the raw wire form of the flit (header, payload and
+// checksum). The slice aliases the flit's storage.
+func (f *Flit) Bytes() []byte { return f.raw[:] }
+
+// FlitFromBytes reconstructs a flit from raw wire bytes, as a receiver
+// deserialising from a physical link would. Short input leaves the
+// remainder zero; excess input is truncated. The checksum is NOT
+// validated here — decode does that, exactly as for a flit that
+// crossed the modelled wire.
+func FlitFromBytes(b []byte) Flit {
+	var f Flit
+	copy(f.raw[:], b)
+	return f
 }

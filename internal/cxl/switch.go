@@ -28,8 +28,15 @@ type Switch struct {
 	mu         sync.Mutex
 	downstream map[string]Endpoint // port name -> device
 	bindings   map[string]string   // vPPB (host port) -> downstream port
+	// shared marks downstream ports bound with BindShared: many vPPBs
+	// may reach them at once (CXL 3.0 shared-FAM semantics), unlike the
+	// exclusive single-logical-device bindings Bind enforces.
+	shared map[string]bool
 	// view is the published vPPB -> endpoint routing table.
 	view atomic.Pointer[map[string]Endpoint]
+	// snoopers is the published vPPB -> host snoop handler table for the
+	// CXL 3.0 back-invalidate channel (see Snoop).
+	snoopers atomic.Pointer[map[string]Snooper]
 }
 
 // NewSwitch builds an empty switch.
@@ -38,6 +45,7 @@ func NewSwitch(name string) *Switch {
 		name:       name,
 		downstream: make(map[string]Endpoint),
 		bindings:   make(map[string]string),
+		shared:     make(map[string]bool),
 	}
 	sw.publish()
 	return sw
@@ -96,12 +104,44 @@ func (sw *Switch) bindLocked(vppb, downstreamPort string) error {
 	if existing, ok := sw.bindings[vppb]; ok {
 		return fmt.Errorf("cxl: switch %s: vPPB %s already bound to %s", sw.name, vppb, existing)
 	}
+	if sw.shared[downstreamPort] {
+		return fmt.Errorf("cxl: switch %s: downstream %s is shared; use BindShared", sw.name, downstreamPort)
+	}
 	for v, d := range sw.bindings {
 		if d == downstreamPort {
 			return fmt.Errorf("cxl: switch %s: downstream %s already bound to vPPB %s", sw.name, downstreamPort, v)
 		}
 	}
 	sw.bindings[vppb] = downstreamPort
+	return nil
+}
+
+// BindShared connects a host-facing vPPB to a downstream port that many
+// vPPBs may reach at once — the CXL 3.0 shared-FAM binding a
+// coherent shared-HDM segment needs (every host's root port resolves to
+// the SAME Type-3 device; the device's directory arbitrates line
+// ownership via the back-invalidate channel). The first BindShared
+// marks the downstream shared; an exclusively bound downstream cannot
+// be re-bound shared without unbinding it first.
+func (sw *Switch) BindShared(vppb, downstreamPort string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.downstream[downstreamPort]; !ok {
+		return fmt.Errorf("cxl: switch %s: no downstream port %s", sw.name, downstreamPort)
+	}
+	if existing, ok := sw.bindings[vppb]; ok {
+		return fmt.Errorf("cxl: switch %s: vPPB %s already bound to %s", sw.name, vppb, existing)
+	}
+	if !sw.shared[downstreamPort] {
+		for v, d := range sw.bindings {
+			if d == downstreamPort {
+				return fmt.Errorf("cxl: switch %s: downstream %s exclusively bound to vPPB %s", sw.name, downstreamPort, v)
+			}
+		}
+	}
+	sw.shared[downstreamPort] = true
+	sw.bindings[vppb] = downstreamPort
+	sw.publish()
 	return nil
 }
 
@@ -119,14 +159,41 @@ func (sw *Switch) Bind(vppb, downstreamPort string) error {
 	return nil
 }
 
-// Unbind releases a vPPB, returning its device to the pool.
+// Unbind releases a vPPB, returning its device to the pool. The last
+// unbind from a shared downstream clears its shared mark, so it can be
+// bound exclusively again. Any snooper registered on the vPPB is
+// deregistered with it.
 func (sw *Switch) Unbind(vppb string) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	if _, ok := sw.bindings[vppb]; !ok {
+	port, ok := sw.bindings[vppb]
+	if !ok {
 		return fmt.Errorf("cxl: switch %s: vPPB %s not bound", sw.name, vppb)
 	}
 	delete(sw.bindings, vppb)
+	if sw.shared[port] {
+		still := false
+		for _, d := range sw.bindings {
+			if d == port {
+				still = true
+				break
+			}
+		}
+		if !still {
+			delete(sw.shared, port)
+		}
+	}
+	if cur := sw.snoopers.Load(); cur != nil {
+		if _, ok := (*cur)[vppb]; ok {
+			next := make(map[string]Snooper, len(*cur))
+			for k, v := range *cur {
+				if k != vppb {
+					next[k] = v
+				}
+			}
+			sw.snoopers.Store(&next)
+		}
+	}
 	sw.publish()
 	return nil
 }
@@ -166,6 +233,71 @@ func (sw *Switch) EndpointFor(vppb string) (Endpoint, bool) {
 	}
 	ep, ok := (*v)[vppb]
 	return ep, ok
+}
+
+// Snooper is a host-side handler for the CXL 3.0 back-invalidate
+// channel: the coherent cache behind one vPPB. HandleBISnp must write
+// any dirty copy of the snooped line back through the host's own
+// CXL.mem path before returning (the response carries state, not data).
+type Snooper interface {
+	HandleBISnp(BISnp) BIRsp
+}
+
+// RegisterSnooper attaches a back-invalidate handler to a bound vPPB.
+// The device-side directory reaches the host through Snoop; hosts that
+// never register simply cannot cache shared lines coherently.
+func (sw *Switch) RegisterSnooper(vppb string, s Snooper) error {
+	if s == nil {
+		return fmt.Errorf("cxl: switch %s: nil snooper", sw.name)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.bindings[vppb]; !ok {
+		return fmt.Errorf("cxl: switch %s: vPPB %s not bound", sw.name, vppb)
+	}
+	next := make(map[string]Snooper)
+	if cur := sw.snoopers.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[vppb] = s
+	sw.snoopers.Store(&next)
+	return nil
+}
+
+// Snoop routes one back-invalidate snoop upstream through a vPPB and
+// returns the host's response. Both messages genuinely round-trip the
+// flit codec — encode, wire, CRC check, decode — so the snoop channel
+// is as observable (and as corruptible in fault tests) as the CXL.mem
+// data path. The registry is read from a published snapshot, keeping
+// the snoop path lock-free against concurrent control-plane changes.
+func (sw *Switch) Snoop(vppb string, req BISnp) (BIRsp, error) {
+	m := sw.snoopers.Load()
+	if m == nil {
+		return BIRsp{}, fmt.Errorf("cxl: switch %s: no snooper on vPPB %s", sw.name, vppb)
+	}
+	s, ok := (*m)[vppb]
+	if !ok {
+		return BIRsp{}, fmt.Errorf("cxl: switch %s: no snooper on vPPB %s", sw.name, vppb)
+	}
+	var f Flit
+	EncodeBISnpInto(&f, &req)
+	var decoded BISnp
+	if err := DecodeBISnpInto(&decoded, &f); err != nil {
+		return BIRsp{}, fmt.Errorf("cxl: switch %s: snoop to %s: %w", sw.name, vppb, err)
+	}
+	resp := s.HandleBISnp(decoded)
+	resp.Tag = decoded.Tag
+	EncodeBIRspInto(&f, &resp)
+	var out BIRsp
+	if err := DecodeBIRspInto(&out, &f); err != nil {
+		return BIRsp{}, fmt.Errorf("cxl: switch %s: snoop response from %s: %w", sw.name, vppb, err)
+	}
+	if out.Tag != req.Tag {
+		return BIRsp{}, fmt.Errorf("cxl: switch %s: snoop response tag %d, want %d", sw.name, out.Tag, req.Tag)
+	}
+	return out, nil
 }
 
 // Bindings returns a copy of the current vPPB map.

@@ -13,10 +13,13 @@
 //	fabricctl [flags] release   -host N -mib M
 //	fabricctl [flags] rebalance -targets 5,1,2,2     (MiB per host)
 //	fabricctl [flags] reclaim   -host N
+//	fabricctl [flags] health
+//	fabricctl [flags] evacuate  -pool NAME
 //	fabricctl [flags] watch-events
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +29,7 @@ import (
 	"cxlpmem/internal/cluster"
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/fabric"
+	"cxlpmem/internal/ras"
 	"cxlpmem/internal/units"
 )
 
@@ -40,7 +44,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | watch-events")
+		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events")
 	}
 
 	e, err := cluster.NewElastic(cluster.ElasticConfig{
@@ -117,6 +121,13 @@ func main() {
 			fmt.Printf("tenant access after reclaim: %v\n", err)
 		}
 		fmt.Printf("pool free: %v (reclaimed bytes immediately re-grantable)\n", e.Fabric.Remaining())
+	case "health":
+		runHealth(e)
+	case "evacuate":
+		fs := flag.NewFlagSet("evacuate", flag.ExitOnError)
+		pool := fs.String("pool", "", "pool to drain (default: primary)")
+		must(fs.Parse(args))
+		runEvacuate(e, *pool)
 	case "watch-events":
 		watchEvents(e)
 	default:
@@ -183,12 +194,133 @@ func verifyExtent(e *cluster.Elastic, host int, x fabric.ExtentInfo) {
 	fmt.Println("verified: burst write/read through the root port OK")
 }
 
+// enableRAS wires the pool's RAS plane with thresholds low enough that
+// the demo scenarios trip them.
+func enableRAS(e *cluster.Elastic) *ras.Plane {
+	p, err := e.EnableRAS(ras.Thresholds{
+		MaxCorrectable:   2,
+		MaxUncorrectable: 1,
+		MaxLinkRetries:   64,
+	}, ras.ScrubConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// printHealth renders the plane's per-device table.
+func printHealth(p *ras.Plane) {
+	fmt.Printf("%-16s %-11s %12s %14s %12s %10s %7s\n",
+		"DEVICE", "STATE", "CORRECTABLE", "UNCORRECTABLE", "LINKRETRIES", "POISONED", "PASSES")
+	for _, name := range p.Devices() {
+		h := p.Health(name)
+		fmt.Printf("%-16s %-11s %12d %14d %12d %10d %7d\n",
+			h.Device, h.State, h.Counters.Correctable, h.Counters.Uncorrectable,
+			h.Counters.LinkRetries, h.PoisonedLines, h.Passes)
+	}
+}
+
+// runHealth demonstrates the detection half of the RAS loop: patrol
+// scrub walks every device, a latent poisoned line injected behind
+// host0's back is caught and counted correctable, and the threshold
+// policy degrades the tenant device.
+func runHealth(e *cluster.Elastic) {
+	p := enableRAS(e)
+	fmt.Println("── baseline patrol pass")
+	for _, name := range p.Devices() {
+		if _, err := p.ScrubPass(name); err != nil {
+			log.Fatalf("scrub %s: %v", name, err)
+		}
+	}
+	printHealth(p)
+
+	fmt.Println("── injecting 3 latent poisoned lines into host0's first extent")
+	exts, err := e.Fabric.Extents("host0")
+	if err != nil || len(exts) == 0 {
+		log.Fatalf("host0 extents: %v", err)
+	}
+	mbox := e.Hosts[0].Tenant.Mailbox()
+	for i := 0; i < 3; i++ {
+		var dpa [8]byte
+		binary.LittleEndian.PutUint64(dpa[:], exts[0].DPA+uint64(i)*4096)
+		if _, status := mbox.Execute(cxl.OpInjectPoison, dpa[:]); status != cxl.MboxSuccess {
+			log.Fatalf("inject poison: %v", status)
+		}
+	}
+
+	fmt.Println("── patrol pass after injection")
+	if _, err := p.ScrubPass("tenant:host0"); err != nil {
+		log.Fatalf("scrub: %v", err)
+	}
+	if st, err := p.Evaluate("tenant:host0"); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("policy: tenant:host0 -> %v\n", st)
+	}
+	printHealth(p)
+	for _, ev := range p.Events() {
+		fmt.Println("ras event:", ev)
+	}
+}
+
+// runEvacuate demonstrates the recovery half: a spare pool is added,
+// the named (default: primary) pool is drained onto it under a live
+// write/readback workload, and the tenants come out with every byte
+// intact on the spare.
+func runEvacuate(e *cluster.Elastic, pool string) {
+	p := enableRAS(e)
+	if pool == "" {
+		pool = e.MLD.Name()
+	}
+	spareSize := 2 * e.TotalPooled()
+	if _, err := e.AddSparePool("spare", spareSize); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("added spare pool (%v); pools now: %v\n", spareSize, e.Fabric.Pools())
+
+	// Seed a pattern through host0 so the move is checkable.
+	h := e.Hosts[0]
+	exts, err := e.Fabric.Extents("host0")
+	if err != nil || len(exts) == 0 {
+		log.Fatalf("host0 extents: %v", err)
+	}
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	if err := h.Port.WriteBurst(h.Window.Base+exts[0].DPA, buf); err != nil {
+		log.Fatalf("seed write: %v", err)
+	}
+
+	moved, err := e.EvacuatePool(p, pool)
+	if err != nil {
+		log.Fatalf("evacuate: %v (moved %d)", err, moved)
+	}
+	fmt.Printf("evacuated %d extents off %s\n", moved, pool)
+
+	got := make([]byte, len(buf))
+	if err := h.Port.ReadBurst(h.Window.Base+exts[0].DPA, got); err != nil {
+		log.Fatalf("readback: %v", err)
+	}
+	for i := range got {
+		if got[i] != buf[i] {
+			log.Fatalf("readback mismatch at byte %d after evacuation", i)
+		}
+	}
+	fmt.Println("verified: tenant data intact through the root port after the move")
+	printHealth(p)
+	for _, ev := range p.Events() {
+		fmt.Println("ras event:", ev)
+	}
+}
+
 // watchEvents runs a scripted capacity scenario against the raw
 // fabric API and streams every tenant's events as they arrive — what
 // an operator console tailing the fabric would show. The host agents
 // answer each event through the real mailbox path, and those answers
 // are logged too.
 func watchEvents(e *cluster.Elastic) {
+	p := enableRAS(e)
 	type step struct {
 		desc string
 		run  func() error
@@ -197,6 +329,17 @@ func watchEvents(e *cluster.Elastic) {
 		{"grant 1 MiB to host0", func() error { _, err := e.Fabric.Grant("host0", units.MiB); return err }},
 		{"request release of 1 MiB from host0", func() error { _, err := e.Fabric.RequestRelease("host0", units.MiB); return err }},
 		{"force-reclaim host1", func() error { _, err := e.Fabric.ForceReclaim("host1"); return err }},
+		{"patrol scrub all devices", func() error {
+			for _, name := range p.Devices() {
+				if _, err := p.ScrubPass(name); err != nil {
+					return err
+				}
+				if _, err := p.Evaluate(name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
 	}
 	for _, s := range script {
 		fmt.Println("──", s.desc)
@@ -221,6 +364,11 @@ func watchEvents(e *cluster.Elastic) {
 					fmt.Printf("   %s released ext#%d via mailbox\n", h.Tenant.Name(), ev.Extent.Tag)
 				}
 			}
+		}
+		// RAS feed: plane events interleave with the capacity events so
+		// the operator sees scrub and health transitions in stream order.
+		for _, ev := range p.Events() {
+			fmt.Printf("   ras -> %s: %s\n", ev.Device, ev.Detail)
 		}
 		fmt.Printf("   pool free: %v\n", e.Fabric.Remaining())
 	}

@@ -343,6 +343,84 @@ func (d *Directory) acquireExclusive(host int, line uint64, sink grantSink) erro
 	return nil
 }
 
+// SweepRange recalls every cached copy of the lines in [lo, hi) —
+// SnpInv to the exclusive owner or every sharer, flushing dirty data to
+// the media — and settles the entries invalid. It is the re-homing hook
+// the RAS plane drives before migrating a shared segment off a degraded
+// device: after a sweep the media holds the only current copy, so the
+// bytes can move and hosts re-fault their lines through the directory at
+// the new home. Sweeping contends with concurrent acquires line by line
+// (the in-flight table serialises them), so foreground coherent traffic
+// keeps flowing during the walk.
+//
+// Returns the number of lines that had cached copies recalled. A failing
+// snoop aborts the walk at that line but, like AcquireExclusive, commits
+// the invalidations that did happen.
+func (d *Directory) SweepRange(lo, hi uint64) (recalled int, err error) {
+	if hi > uint64(len(d.lines)) {
+		hi = uint64(len(d.lines))
+	}
+	for line := lo; line < hi; line++ {
+		hit, err := d.sweepLine(line)
+		if hit {
+			recalled++
+		}
+		if err != nil {
+			return recalled, err
+		}
+	}
+	return recalled, nil
+}
+
+// SweepAll recalls every cached line of the segment.
+func (d *Directory) SweepAll() (recalled int, err error) {
+	return d.SweepRange(0, uint64(len(d.lines)))
+}
+
+// sweepLine invalidates all holders of one line and settles it invalid.
+func (d *Directory) sweepLine(line uint64) (recalled bool, err error) {
+	st := d.claimLine(line)
+	if st.owner < 0 && st.sharers == 0 {
+		d.settleLine(line, nil, func(*dirLine) {})
+		return false, nil
+	}
+	var surrendered [MaxCoherentHosts]bool
+	abort := func(err error) error {
+		d.settleLine(line, nil, func(l *dirLine) {
+			for h := 0; h < len(d.vppbs); h++ {
+				if !surrendered[h] {
+					continue
+				}
+				if int(l.owner) == h {
+					l.owner = -1
+				}
+				l.sharers &^= 1 << uint(h)
+			}
+		})
+		return err
+	}
+	if st.owner >= 0 {
+		if _, err := d.snoop(int(st.owner), line, cxl.SnpInv); err != nil {
+			return true, abort(err)
+		}
+		surrendered[st.owner] = true
+	}
+	for h := 0; h < len(d.vppbs); h++ {
+		if st.sharers&(1<<uint(h)) == 0 {
+			continue
+		}
+		if _, err := d.snoop(h, line, cxl.SnpInv); err != nil {
+			return true, abort(err)
+		}
+		surrendered[h] = true
+	}
+	d.settleLine(line, nil, func(l *dirLine) {
+		l.owner = -1
+		l.sharers = 0
+	})
+	return true, nil
+}
+
 // Release drops host from the line's holder set — called by the host
 // after a victim eviction, AFTER any dirty data reached the media
 // through the host's own port. Release never waits on the in-flight

@@ -564,3 +564,90 @@ func BenchmarkPetersonRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// TestDirectorySweepRecallsAllCopies drives the RAS re-homing hook: a
+// sweep must flush the dirty owner, invalidate every shared copy, and
+// leave the directory empty so the segment's bytes can migrate.
+func TestDirectorySweepRecallsAllCopies(t *testing.T) {
+	s := coherentSetup(t, 3, 64)
+	h0, h1, h2 := s.Hosts[0].Cache, s.Hosts[1].Cache, s.Hosts[2].Cache
+
+	// Line 0: dirty exclusive at h0. Line 1: shared at h1 and h2.
+	if err := h0.Store(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Store(64, 9); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*coherency.CoherentCache{h1, h2} {
+		if v, err := h.Load(64); err != nil || v != 9 {
+			t.Fatalf("host %d priming load = %d, %v", h.ID(), v, err)
+		}
+	}
+
+	wb0 := s.Directory.Stats().Writebacks.Load()
+	recalled, err := s.Directory.SweepAll()
+	if err != nil {
+		t.Fatalf("SweepAll: %v", err)
+	}
+	if recalled < 2 {
+		t.Fatalf("sweep recalled %d lines, want >= 2", recalled)
+	}
+	if s.Directory.Stats().Writebacks.Load() == wb0 {
+		t.Error("sweep recalled a dirty owner without a write-back")
+	}
+	// Every entry settled invalid: an immediate second sweep finds
+	// nothing cached.
+	if again, err := s.Directory.SweepAll(); err != nil || again != 0 {
+		t.Fatalf("second sweep recalled %d lines (%v), want 0", again, err)
+	}
+	// The swept data survived and the protocol still runs: re-faulting
+	// hosts read the flushed values.
+	if v, err := h2.Load(0); err != nil || v != 7 {
+		t.Fatalf("post-sweep load = %d, %v; want 7", v, err)
+	}
+	if v, err := h0.Load(64); err != nil || v != 9 {
+		t.Fatalf("post-sweep load = %d, %v; want 9", v, err)
+	}
+}
+
+// TestWritebackAllFlushesDirtyLines: an explicit writeback pass (the
+// hook RAS evacuation uses before sweeping a region) downgrades every
+// Modified frame to Exclusive with its bytes on media, so a subsequent
+// directory sweep recalls only clean copies.
+func TestWritebackAllFlushesDirtyLines(t *testing.T) {
+	s := coherentSetup(t, 2, 64)
+	h0 := s.Hosts[0].Cache
+	if h0.ID() != 0 {
+		t.Fatalf("host 0 cache ID = %d", h0.ID())
+	}
+	if got, want := s.Directory.Lines(), uint64(1024); got != want { // 64 KiB segment
+
+		t.Fatalf("directory tracks %d lines, want %d", got, want)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h0.Store(int64(i*64), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Directory.Stats().Writebacks.Load()
+	wb := h0.Stats().Writebacks.Load()
+	if err := h0.WritebackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h0.Stats().Writebacks.Load(); got != wb+4 {
+		t.Fatalf("writebacks after flush = %d, want %d", got, wb+4)
+	}
+	// The lines are clean now: a full sweep recalls them without any
+	// further write-back traffic from the hosts.
+	if _, err := s.Directory.SweepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Directory.Stats().Writebacks.Load(); got != before {
+		t.Fatalf("sweep of clean lines forced %d directory writebacks", got-before)
+	}
+	// And the flushed values are durable on media.
+	if v, err := s.Hosts[1].Cache.Load(64); err != nil || v != 2 {
+		t.Fatalf("Load after flush = %d, %v", v, err)
+	}
+}

@@ -157,6 +157,25 @@ func (d *Type3Device) ProgramDecoder(dec *HDMDecoder) error {
 	return nil
 }
 
+// RemoveDecoder uninstalls a previously programmed decoder (matched by
+// identity) and republishes the hot-path snapshot. Hot-add uses this to
+// tear down the temporary spare windows an evacuation programmed, so a
+// later evacuation onto the same device starts from a clean decoder
+// list. In-flight transactions that already resolved an address through
+// the removed decoder complete normally — they hold the old snapshot.
+func (d *Type3Device) RemoveDecoder(dec *HDMDecoder) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, have := range d.decoders {
+		if have == dec {
+			d.decoders = append(append([]*HDMDecoder{}, d.decoders[:i]...), d.decoders[i+1:]...)
+			d.publish()
+			return nil
+		}
+	}
+	return fmt.Errorf("cxl: %s: decoder %v not programmed here", d.name, dec)
+}
+
 // Decoders returns the committed decoders.
 func (d *Type3Device) Decoders() []*HDMDecoder {
 	d.mu.RLock()
@@ -240,7 +259,9 @@ func (d *Type3Device) HandleMem(req MemReq) MemResp {
 	if poisoned != nil && poisoned(dpa) {
 		// Poisoned line: real CXL returns the data with poison
 		// signalling; we surface it as an error response the host
-		// must handle (RAS path).
+		// must handle (RAS path). A demand access consumed the error,
+		// so it counts as uncorrectable.
+		d.media.Stats().Uncorrectable.Add(1)
 		d.stats.Errors.Add(1)
 		resp.Opcode = RespErr
 		return resp
@@ -338,6 +359,7 @@ func (d *Type3Device) HandleMemBurst(req MemReq, payload []byte) MemResp {
 	// line, same as single-line transactions.
 	if contiguous && snap.poisonedSpan != nil {
 		if snap.poisonedSpan(dpa, span) {
+			d.media.Stats().Uncorrectable.Add(1)
 			d.stats.Errors.Add(1)
 			resp.Opcode = RespErr
 			return resp
@@ -366,6 +388,7 @@ func (d *Type3Device) HandleMemBurst(req MemReq, payload []byte) MemResp {
 				lineDPAs[i] = lineDPA
 			}
 			if poisoned != nil && poisoned(lineDPA) {
+				d.media.Stats().Uncorrectable.Add(1)
 				d.stats.Errors.Add(1)
 				resp.Opcode = RespErr
 				return resp

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Host-side interleave sets. CXL scales bandwidth the way DRAM channels
@@ -85,15 +86,51 @@ func runStripeJob(j *stripeJob) {
 // the owning leg), so callers swap one for the other.
 type InterleaveSet struct {
 	name    string
-	ports   []*RootPort
+	ways    int // interleave width; fixed geometry for the set's lifetime
 	base    uint64
 	size    uint64 // ways × share
 	share   uint64 // per-target bytes
 	granule uint64
+	// live is the published member-port slice, one entry per leg. It is
+	// an immutable snapshot behind an atomic pointer so hot-add can swap
+	// a replacement port into a leg while traffic is in flight; the
+	// geometry (ways/granule/share) never changes with it.
+	live atomic.Pointer[[]*RootPort]
+	// epoch/inflight implement an RCU-style grace period: every transfer
+	// registers on the current epoch's counter for its lifetime, and a
+	// state change (publish evacuation, swap a port, retire spares)
+	// flips the epoch and waits only for the old counter to drain. New
+	// transfers land on the new counter, so the wait is bounded by the
+	// transfers in flight at the flip — it never requires continuous
+	// foreground traffic to quiesce.
+	epoch    atomic.Uint64
+	inflight [2]atomic.Int64
+	// evacMu serialises the evacuation control plane (begin, migrate,
+	// detach, reattach); evac is its published hot-path state, nil when
+	// the set runs at full width.
+	evacMu sync.Mutex
+	evac   atomic.Pointer[evacuation]
 	// workers feed legs 1..ways-1; leg 0 always runs on the caller's
 	// goroutine, so a 1-way set degenerates to the plain port path with
 	// no hand-off at all.
 	workers []chan *stripeJob
+}
+
+// legs returns the current member ports (immutable snapshot).
+func (s *InterleaveSet) legs() []*RootPort { return *s.live.Load() }
+
+// InterleaveOptions tunes NewInterleaveSetOpts. Zero values select the
+// defaults NewInterleaveSet uses.
+type InterleaveOptions struct {
+	// Base is the window's first HPA (DefaultCXLWindowBase if zero).
+	Base uint64
+	// Granule is the stripe unit (DefaultInterleaveGranule if zero).
+	Granule uint64
+	// Share caps the per-target bytes below the natural minimum-HDM
+	// share, leaving the rest of each member device as headroom — the
+	// spare capacity BeginEvacuation redistributes a dying leg onto.
+	// Zero uses the full minimum HDM.
+	Share uint64
 }
 
 // NewInterleaveSet builds and commits an interleave set: every port
@@ -104,6 +141,12 @@ type InterleaveSet struct {
 // A granule of 0 selects DefaultInterleaveGranule; a base of 0 selects
 // DefaultCXLWindowBase.
 func NewInterleaveSet(name string, base, granule uint64, ports ...*RootPort) (*InterleaveSet, error) {
+	return NewInterleaveSetOpts(name, InterleaveOptions{Base: base, Granule: granule}, ports...)
+}
+
+// NewInterleaveSetOpts is NewInterleaveSet with the full option set.
+func NewInterleaveSetOpts(name string, opts InterleaveOptions, ports ...*RootPort) (*InterleaveSet, error) {
+	base, granule := opts.Base, opts.Granule
 	ways := len(ports)
 	if ways < 1 || ways > MaxInterleaveWays {
 		return nil, fmt.Errorf("cxl: %s: %d interleave ways outside 1..%d", name, ways, MaxInterleaveWays)
@@ -146,18 +189,30 @@ func NewInterleaveSet(name string, base, granule uint64, ports ...*RootPort) (*I
 		}
 	}
 	share -= share % granule
+	if opts.Share != 0 {
+		want := opts.Share - opts.Share%granule
+		if want == 0 {
+			return nil, fmt.Errorf("cxl: %s: share %d smaller than one %d-byte granule", name, opts.Share, granule)
+		}
+		if want > share {
+			return nil, fmt.Errorf("cxl: %s: share %d exceeds smallest member HDM (%d usable)", name, opts.Share, share)
+		}
+		share = want
+	}
 	if share == 0 {
 		return nil, fmt.Errorf("cxl: %s: member HDM smaller than one %d-byte granule", name, granule)
 	}
 
 	s := &InterleaveSet{
 		name:    name,
-		ports:   ports,
+		ways:    ways,
 		base:    base,
 		size:    share * uint64(ways),
 		share:   share,
 		granule: granule,
 	}
+	members := append([]*RootPort(nil), ports...)
+	s.live.Store(&members)
 	for i, rp := range ports {
 		dec := &HDMDecoder{
 			Base:              base,
@@ -200,7 +255,10 @@ func (s *InterleaveSet) Close() {
 func (s *InterleaveSet) Name() string { return s.name }
 
 // Ways returns the interleave width.
-func (s *InterleaveSet) Ways() int { return len(s.ports) }
+func (s *InterleaveSet) Ways() int { return s.ways }
+
+// Share returns the per-target bytes of the striped window.
+func (s *InterleaveSet) Share() uint64 { return s.share }
 
 // Granule returns the stripe unit in bytes.
 func (s *InterleaveSet) Granule() uint64 { return s.granule }
@@ -213,8 +271,9 @@ func (s *InterleaveSet) Size() uint64 { return s.size }
 
 // Ports lists the member root ports in target order.
 func (s *InterleaveSet) Ports() []*RootPort {
-	out := make([]*RootPort, len(s.ports))
-	copy(out, s.ports)
+	legs := s.legs()
+	out := make([]*RootPort, len(legs))
+	copy(out, legs)
 	return out
 }
 
@@ -222,19 +281,28 @@ func (s *InterleaveSet) Ports() []*RootPort {
 // addresses outside the window — the port's own decode then reports the
 // error).
 func (s *InterleaveSet) Route(hpa uint64) *RootPort {
-	if len(s.ports) == 1 || hpa < s.base || hpa >= s.base+s.size {
-		return s.ports[0]
+	legs := s.legs()
+	if s.ways == 1 || hpa < s.base || hpa >= s.base+s.size {
+		return legs[0]
 	}
-	return s.ports[((hpa-s.base)/s.granule)%uint64(len(s.ports))]
+	return legs[((hpa-s.base)/s.granule)%uint64(s.ways)]
 }
 
 // ReadLine fetches one line through the owning leg.
 func (s *InterleaveSet) ReadLine(hpa uint64, out *[LineSize]byte) error {
+	defer s.exit(s.enter())
+	if ev := s.evac.Load(); ev != nil && s.evacOwned(ev, hpa) {
+		return s.evacSmall(ev, false, hpa, out[:])
+	}
 	return s.Route(hpa).ReadLine(hpa, out)
 }
 
 // WriteLine stores one line through the owning leg.
 func (s *InterleaveSet) WriteLine(hpa uint64, data *[LineSize]byte) error {
+	defer s.exit(s.enter())
+	if ev := s.evac.Load(); ev != nil && s.evacOwned(ev, hpa) {
+		return s.evacSmall(ev, true, hpa, data[:])
+	}
 	return s.Route(hpa).WriteLine(hpa, data)
 }
 
@@ -266,7 +334,8 @@ func (s *InterleaveSet) do(write bool, hpa uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
-	ways := len(s.ports)
+	defer s.exit(s.enter())
+	ways := s.ways
 	if ways == 1 {
 		return s.runLeg(0, write, hpa, p)
 	}
@@ -312,9 +381,14 @@ func (s *InterleaveSet) op(write bool) string {
 // header and one media access per MaxBurstLines lines — never as
 // per-line transactions.
 func (s *InterleaveSet) runLeg(leg int, write bool, hpa uint64, p []byte) error {
-	rp := s.ports[leg]
+	if ev := s.evac.Load(); ev != nil && leg == ev.leg {
+		// The leg is mid-evacuation: its granules live on the old device,
+		// the spare windows, or the reattached replacement, per-granule.
+		return s.runLegEvac(ev, write, hpa, p)
+	}
+	rp := s.legs()[leg]
 	g := s.granule
-	stride := g * uint64(len(s.ports))
+	stride := g * uint64(s.ways)
 	off := hpa - s.base
 	end := off + uint64(len(p))
 	legOff := uint64(leg) * g
@@ -427,7 +501,7 @@ func (s *InterleaveSet) moveChunk(rp *RootPort, leg int, write bool, chunkStart 
 // chunkStart, in HPA order.
 func (s *InterleaveSet) scatter(leg int, chunkStart uint64, chunk, p []byte, off uint64) {
 	g := s.granule
-	stride := g * uint64(len(s.ports))
+	stride := g * uint64(s.ways)
 	legOff := uint64(leg) * g
 	k := (chunkStart - legOff) / stride
 	pos := chunkStart
@@ -454,7 +528,7 @@ func (s *InterleaveSet) ReadAt(p []byte, off int64) error {
 		if n > len(p) {
 			n = len(p)
 		}
-		if err := s.Route(hpa).ReadAt(p[:n], int64(hpa)); err != nil {
+		if err := s.smallAccess(false, hpa, p[:n]); err != nil {
 			return err
 		}
 		p = p[n:]
@@ -468,7 +542,7 @@ func (s *InterleaveSet) ReadAt(p []byte, off int64) error {
 		hpa += uint64(n)
 	}
 	if len(p) > 0 {
-		return s.Route(hpa).ReadAt(p, int64(hpa))
+		return s.smallAccess(false, hpa, p)
 	}
 	return nil
 }
@@ -482,7 +556,7 @@ func (s *InterleaveSet) WriteAt(p []byte, off int64) error {
 		if n > len(p) {
 			n = len(p)
 		}
-		if err := s.Route(hpa).WriteAt(p[:n], int64(hpa)); err != nil {
+		if err := s.smallAccess(true, hpa, p[:n]); err != nil {
 			return err
 		}
 		p = p[n:]
@@ -496,11 +570,27 @@ func (s *InterleaveSet) WriteAt(p []byte, off int64) error {
 		hpa += uint64(n)
 	}
 	if len(p) > 0 {
-		return s.Route(hpa).WriteAt(p, int64(hpa))
+		return s.smallAccess(true, hpa, p)
 	}
 	return nil
 }
 
+// smallAccess moves a sub-line fragment through the owning leg,
+// rerouting it per-granule when that leg is mid-evacuation. Fragments
+// never cross a line (let alone a granule), so the start address alone
+// picks the home.
+func (s *InterleaveSet) smallAccess(write bool, hpa uint64, p []byte) error {
+	defer s.exit(s.enter())
+	if ev := s.evac.Load(); ev != nil && s.evacOwned(ev, hpa) {
+		return s.evacSmall(ev, write, hpa, p)
+	}
+	rp := s.Route(hpa)
+	if write {
+		return rp.WriteAt(p, int64(hpa))
+	}
+	return rp.ReadAt(p, int64(hpa))
+}
+
 func (s *InterleaveSet) String() string {
-	return fmt.Sprintf("%s: %d-way@%dB stripe [%#x, %#x)", s.name, len(s.ports), s.granule, s.base, s.base+s.size)
+	return fmt.Sprintf("%s: %d-way@%dB stripe [%#x, %#x)", s.name, s.ways, s.granule, s.base, s.base+s.size)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cxlpmem/internal/interconnect"
+	"cxlpmem/internal/memdev"
 )
 
 // LinkState tracks root-port link training.
@@ -71,10 +72,30 @@ type portHooks struct {
 
 // portSession is the immutable snapshot of link training state: which
 // endpoint is attached and whether the link is up. Attach/Detach
-// publish a fresh snapshot; the data path reads it lock-free.
+// publish a fresh snapshot; the data path reads it lock-free. ras, when
+// non-nil, points at the attached endpoint's media counters so link
+// CRC retries and exhausted-retry failures are attributed to the device
+// they occurred against — the health thresholds' retry-storm input.
 type portSession struct {
 	state    LinkState
 	endpoint Endpoint
+	ras      *memdev.Stats
+}
+
+// retry charges one link-level retransmission to the issuing VC and to
+// the attached device's RAS counters.
+func (s *portSession) retry(vc *virtualChannel) {
+	vc.retries.Add(1)
+	if s.ras != nil {
+		s.ras.LinkRetries.Add(1)
+	}
+}
+
+// uncorrectable charges an exhausted retry budget to the device.
+func (s *portSession) uncorrectable() {
+	if s.ras != nil {
+		s.ras.Uncorrectable.Add(1)
+	}
 }
 
 // RootPort is a host-side CXL port: the CPU's view of one PCIe/CXL slot.
@@ -206,7 +227,15 @@ func (rp *RootPort) Attach(ep Endpoint) error {
 	if dvsec.Caps&CapIO == 0 {
 		return fmt.Errorf("cxl: %s: endpoint %s does not advertise CXL.io", rp.name, ep.Name())
 	}
-	rp.sess.Store(&portSession{state: LinkUp, endpoint: ep})
+	sess := &portSession{state: LinkUp, endpoint: ep}
+	// Resolve the retry-attribution sink once, at training time: link
+	// errors on this port are charged to the media behind the endpoint.
+	if md, ok := ep.(interface{ Media() memdev.Device }); ok {
+		if media := md.Media(); media != nil {
+			sess.ras = media.Stats()
+		}
+	}
+	rp.sess.Store(sess)
 	return nil
 }
 
@@ -279,12 +308,12 @@ func (rp *RootPort) transact(req *MemReq) (MemResp, error) {
 	vc, tag := rp.issue()
 	req.Tag = tag
 	var decoded MemReq
-	if err := rp.sendHeader(h, vc, req, &decoded); err != nil {
+	if err := rp.sendHeader(s, h, vc, req, &decoded); err != nil {
 		return MemResp{}, err
 	}
 	resp := s.endpoint.HandleMem(decoded)
 	var out MemResp
-	if err := rp.recvResp(h, vc, req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(s, h, vc, req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
 		return MemResp{}, err
 	}
 	return out, nil
@@ -348,7 +377,7 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 // flight fails its CRC at the receiver, which NAKs, and the sender
 // retransmits from its retry buffer — and returns the decoded form the
 // device sees. Retries are charged to the issuing VC.
-func (rp *RootPort) sendHeader(h *portHooks, vc *virtualChannel, req *MemReq, decoded *MemReq) error {
+func (rp *RootPort) sendHeader(s *portSession, h *portHooks, vc *virtualChannel, req *MemReq, decoded *MemReq) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -358,9 +387,10 @@ func (rp *RootPort) sendHeader(h *portHooks, vc *virtualChannel, req *MemReq, de
 			return nil
 		}
 		if attempt >= maxLinkRetries {
+			s.uncorrectable()
 			return &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
 		}
-		vc.retries.Add(1)
+		s.retry(vc)
 	}
 }
 
@@ -368,7 +398,7 @@ func (rp *RootPort) sendHeader(h *portHooks, vc *virtualChannel, req *MemReq, de
 // retry and lands it in dst. f is caller-owned scratch, reused across
 // the beats of a burst so the wire loop does not re-zero a flit per
 // line.
-func (rp *RootPort) moveData(h *portHooks, vc *virtualChannel, f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
+func (rp *RootPort) moveData(s *portSession, h *portHooks, vc *virtualChannel, f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
 	for attempt := 0; ; attempt++ {
 		EncodeDataInto(f, tag, seq, src)
 		rp.moveFlit(h, f)
@@ -380,15 +410,16 @@ func (rp *RootPort) moveData(h *portHooks, vc *virtualChannel, f *Flit, op MemOp
 			return nil
 		}
 		if attempt >= maxLinkRetries {
+			s.uncorrectable()
 			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error on data flit: " + err.Error()}
 		}
-		vc.retries.Add(1)
+		s.retry(vc)
 	}
 }
 
 // recvResp pushes one completion/response flit back over the wire with
 // the same retry protection and enforces tag matching.
-func (rp *RootPort) recvResp(h *portHooks, vc *virtualChannel, op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
+func (rp *RootPort) recvResp(s *portSession, h *portHooks, vc *virtualChannel, op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -398,9 +429,10 @@ func (rp *RootPort) recvResp(h *portHooks, vc *virtualChannel, op MemOpcode, add
 			break
 		}
 		if attempt >= maxLinkRetries {
+			s.uncorrectable()
 			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error: " + err.Error()}
 		}
-		vc.retries.Add(1)
+		s.retry(vc)
 	}
 	if out.Tag != tag {
 		return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag)}
@@ -482,7 +514,7 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	lines := len(p) / LineSize
 	req := MemReq{Opcode: OpMemWrBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(h, vc, &req, &decoded); err != nil {
+	if err := rp.sendHeader(s, h, vc, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
@@ -490,7 +522,7 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(p[i*LineSize:])
 		dst := (*[LineSize]byte)(buf[i*LineSize:])
-		if err := rp.moveData(h, vc, &f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(s, h, vc, &f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}
@@ -498,7 +530,7 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	burstBufPool.Put(buf)
 	var out MemResp
-	if err := rp.recvResp(h, vc, OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(s, h, vc, OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
 		return err
 	}
 	if out.Opcode != RespCmp {
@@ -537,13 +569,13 @@ func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
 	lines := len(p) / LineSize
 	req := MemReq{Opcode: OpMemRdBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(h, vc, &req, &decoded); err != nil {
+	if err := rp.sendHeader(s, h, vc, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
 	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	var out MemResp
-	if err := rp.recvResp(h, vc, OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(s, h, vc, OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
 		burstBufPool.Put(buf)
 		return err
 	}
@@ -555,7 +587,7 @@ func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(buf[i*LineSize:])
 		dst := (*[LineSize]byte)(p[i*LineSize:])
-		if err := rp.moveData(h, vc, &f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(s, h, vc, &f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}

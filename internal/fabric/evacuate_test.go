@@ -1,0 +1,285 @@
+package fabric
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// sparePool builds and registers an extra MLD on the manager.
+func sparePool(t *testing.T, m *Manager, name string, size units.Size) *cxl.MLD {
+	t.Helper()
+	media, err := memdev.NewDRAM(memdev.DRAMConfig{
+		Name: name + "-dram", Rate: 3200, Channels: 1,
+		CapacityPerChannel: size,
+		BatteryBacked:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mld, err := cxl.NewMLD(name, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPool(mld); err != nil {
+		t.Fatal(err)
+	}
+	return mld
+}
+
+func TestEvacuatePoolMovesExtentsUnderTraffic(t *testing.T) {
+	m := testFabric(t)
+	tn, err := m.AddTenant("evac-host", 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant("evac-host", 2*units.MiB); err != nil {
+		t.Fatal(err)
+	}
+	accept(t, tn)
+
+	// Seed a recognisable pattern through the tenant device.
+	dev := tn.Device()
+	want := make([]byte, 2*units.MiB)
+	for i := range want {
+		want[i] = byte(i*7 + 3)
+	}
+	if err := dev.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sparePool(t, m, "spare", 16*units.MiB)
+
+	// Foreground traffic mutates a private window of the extent during
+	// the move; a deterministic mirror tracks what must be readable.
+	const fgBase = 1 << 20
+	const fgLen = 64 * 1024
+	var stopFg atomic.Bool
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, fgLen)
+		got := make([]byte, fgLen)
+		for round := byte(1); !stopFg.Load(); round++ {
+			for i := range buf {
+				buf[i] = round ^ byte(i)
+			}
+			if err := dev.WriteAt(buf, fgBase); err != nil {
+				t.Errorf("foreground write: %v", err)
+				return
+			}
+			// Single writer: its own write must be fully visible, before,
+			// during and after the migration.
+			if err := dev.ReadAt(got, fgBase); err != nil {
+				t.Errorf("foreground read: %v", err)
+				return
+			}
+			if !bytes.Equal(got, buf) {
+				t.Errorf("foreground round %d read back torn", round)
+				return
+			}
+			startedOnce.Do(func() { close(started) })
+		}
+	}()
+	<-started
+
+	moved, err := m.EvacuatePool(m.MLD().Name())
+	if err != nil {
+		t.Fatalf("EvacuatePool: %v (moved %d)", err, moved)
+	}
+	if moved == 0 {
+		t.Fatal("EvacuatePool moved nothing")
+	}
+	stopFg.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every extent must now live on the spare, the primary pool must be
+	// fully free, and its media scrubbed to zero where the extents were.
+	exts, err := m.Extents("evac-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exts {
+		if e.Pool != "spare" {
+			t.Fatalf("extent %v still on pool %s", e, e.Pool)
+		}
+	}
+	if free := m.MLD().Remaining(); free != m.MLD().Media().Capacity() {
+		t.Fatalf("source pool has %v free of %v after evacuation", free, m.MLD().Media().Capacity())
+	}
+	if m.PoolHealthy(m.MLD().Name()) {
+		t.Fatal("evacuated pool still marked healthy")
+	}
+
+	// Full readback: the static region must be byte-identical; the
+	// foreground window must hold a self-consistent round pattern.
+	got := make([]byte, len(want))
+	if err := dev.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:fgBase], want[:fgBase]) {
+		t.Fatal("static prefix corrupted by evacuation")
+	}
+	if !bytes.Equal(got[fgBase+fgLen:], want[fgBase+fgLen:]) {
+		t.Fatal("static suffix corrupted by evacuation")
+	}
+	fg := got[fgBase : fgBase+fgLen]
+	round := fg[0] // buf[0] = round ^ 0
+	for i, b := range fg {
+		if b != round^byte(i) {
+			t.Fatalf("foreground window torn at %d: %#x, want round %#x pattern", i, b, round)
+		}
+	}
+
+	// The tenant is not stuck: it can still grant (now from the spare)
+	// and the moved bytes remain writable.
+	if _, err := m.Grant("evac-host", 64*units.KiB); err != nil {
+		t.Fatalf("post-evacuation grant: %v", err)
+	}
+	accept(t, tn)
+	if err := dev.WriteAt([]byte{0xEE}, 0); err != nil {
+		t.Fatalf("post-evacuation write: %v", err)
+	}
+}
+
+func TestEvacuateWithoutSpareFailsCleanly(t *testing.T) {
+	m := testFabric(t)
+	tn, err := m.AddTenant("lonely", 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant("lonely", 256*units.KiB); err != nil {
+		t.Fatal(err)
+	}
+	accept(t, tn)
+	if _, err := m.EvacuatePool(m.MLD().Name()); err == nil {
+		t.Fatal("evacuation with no healthy pool succeeded")
+	}
+	// The data survives the failed attempt and the tenant still works.
+	if err := tn.Device().WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := tn.Device().ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("readback %v", got)
+	}
+	// Recovery: add a spare and finish the drain.
+	sparePool(t, m, "late-spare", 16*units.MiB)
+	if _, err := m.EvacuatePool(m.MLD().Name()); err != nil {
+		t.Fatalf("evacuation after adding spare: %v", err)
+	}
+	exts, err := m.Extents("lonely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exts {
+		if e.Pool != "late-spare" {
+			t.Fatalf("extent %v not re-homed", e)
+		}
+	}
+}
+
+func TestTenantCommittedRanges(t *testing.T) {
+	m := testFabric(t)
+	tn, err := m.AddTenant("ranger", 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant("ranger", 192*units.KiB); err != nil {
+		t.Fatal(err)
+	}
+	accept(t, tn)
+	rl, ok := tn.Device().(memdev.RangeLister)
+	if !ok {
+		t.Fatal("tenant device does not implement RangeLister")
+	}
+	var total uint64
+	for _, r := range rl.Committed() {
+		total += r.Size
+	}
+	if total != uint64(192*units.KiB) {
+		t.Fatalf("committed %d bytes, want %d", total, 192*units.KiB)
+	}
+}
+
+// TestEvacuateMixedExtentStates drains a pool holding every extent
+// state at once: an active extent migrates with its bytes, a pending
+// (never-accepted) grant is re-reserved on the spare without a copy,
+// and a revoked tombstone — whose media was already scrubbed and freed
+// by the forced reclaim — is skipped entirely.
+func TestEvacuateMixedExtentStates(t *testing.T) {
+	m := testFabric(t)
+	if _, err := m.EvacuatePool("no-such-pool"); err == nil {
+		t.Fatal("evacuating an unknown pool succeeded")
+	}
+
+	tn, err := m.AddTenant("mixed", 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant("mixed", 256*units.KiB); err != nil {
+		t.Fatal(err)
+	}
+	accept(t, tn) // active
+	if _, err := m.Grant("mixed", 256*units.KiB); err != nil {
+		t.Fatal(err)
+	}
+	// Second grant stays pending: the tenant never answers the event.
+
+	victim, err := m.AddTenant("victim", 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant("victim", 256*units.KiB); err != nil {
+		t.Fatal(err)
+	}
+	accept(t, victim)
+	if _, err := m.ForceReclaim("victim"); err != nil {
+		t.Fatal(err)
+	}
+	// The revoked tombstone stays until the tenant acknowledges.
+
+	want := []byte{0xC4, 0x11, 0x7e}
+	if err := tn.Device().WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sparePool(t, m, "spare", 16*units.MiB)
+	moved, err := m.EvacuatePool(m.MLD().Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 { // active + pending; the tombstone references no media
+		t.Fatalf("moved %d extents, want 2", moved)
+	}
+	exts, err := m.Extents("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exts {
+		if e.Pool != "spare" {
+			t.Fatalf("extent %+v not re-homed onto the spare", e)
+		}
+	}
+	got := make([]byte, len(want))
+	if err := tn.Device().ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("active extent bytes %v after mixed-state drain, want %v", got, want)
+	}
+}

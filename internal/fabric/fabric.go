@@ -38,6 +38,7 @@ import (
 
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/ras"
 	"cxlpmem/internal/units"
 )
 
@@ -94,6 +95,14 @@ type ExtentInfo struct {
 	Size uint64
 	// State of the extent.
 	State ExtentState
+	// Pool names the MLD backing the extent (the primary pool unless
+	// the extent has been evacuated onto a spare).
+	Pool string
+
+	// frozen blocks writes while the extent's bytes migrate between
+	// pools; readers keep seeing the (stable) source copy. Internal to
+	// EvacuatePool.
+	frozen bool
 }
 
 // DCD converts to the mailbox wire form.
@@ -145,13 +154,23 @@ func (ev Event) String() string { return ev.Type.String() + " " + ev.Extent.Stri
 // Manager is the fabric manager.
 type Manager struct {
 	sw      *cxl.Switch
-	mld     *cxl.MLD
+	mld     *cxl.MLD // primary pool, == pools[0].mld
 	granule uint64
 
 	mu      sync.Mutex
+	pools   []*pool
 	tenants map[string]*Tenant
 	order   []string // registration order, for deterministic listings
 	nextTag uint64
+}
+
+// pool is one MLD the manager can grant from. Grants prefer pools in
+// registration order and skip unhealthy ones; EvacuatePool marks a
+// pool unhealthy and migrates its extents to the others.
+type pool struct {
+	name    string
+	mld     *cxl.MLD
+	healthy bool
 }
 
 // Tenant is one host's seat on the fabric: a DCD endpoint, its
@@ -193,9 +212,79 @@ func New(sw *cxl.Switch, mld *cxl.MLD, cfg Config) (*Manager, error) {
 		sw:      sw,
 		mld:     mld,
 		granule: uint64(granule),
+		pools:   []*pool{{name: mld.Name(), mld: mld, healthy: true}},
 		tenants: make(map[string]*Tenant),
 		nextTag: 1,
 	}, nil
+}
+
+// AddPool registers an additional MLD the manager may grant from — the
+// spare capacity evacuation migrates onto.
+func (m *Manager) AddPool(mld *cxl.MLD) error {
+	if mld == nil {
+		return fmt.Errorf("fabric: nil pool")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.pools {
+		if p.name == mld.Name() {
+			return fmt.Errorf("fabric: pool %s already registered", mld.Name())
+		}
+	}
+	m.pools = append(m.pools, &pool{name: mld.Name(), mld: mld, healthy: true})
+	return nil
+}
+
+// Pools lists pool names in registration order (primary first).
+func (m *Manager) Pools() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.pools))
+	for i, p := range m.pools {
+		out[i] = p.name
+	}
+	return out
+}
+
+// PoolMedia returns the named pool's backing media — what the RAS
+// patrol scrubber walks for appliance-side latent faults.
+func (m *Manager) PoolMedia(name string) (memdev.Device, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.poolLocked(name)
+	if p == nil {
+		return nil, false
+	}
+	return p.mld.Media(), true
+}
+
+// PoolHealthy reports whether the named pool accepts grants.
+func (m *Manager) PoolHealthy(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.poolLocked(name)
+	return p != nil && p.healthy
+}
+
+// SetPoolHealthy marks a pool (un)grantable without moving anything.
+func (m *Manager) SetPoolHealthy(name string, healthy bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.poolLocked(name)
+	if p == nil {
+		return fmt.Errorf("fabric: no pool %s", name)
+	}
+	p.healthy = healthy
+	return nil
+}
+
+func (m *Manager) poolLocked(name string) *pool {
+	for _, p := range m.pools {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
 }
 
 // Switch returns the managed switch.
@@ -207,8 +296,36 @@ func (m *Manager) MLD() *cxl.MLD { return m.mld }
 // Granule reports the extent allocation unit.
 func (m *Manager) Granule() units.Size { return units.Size(m.granule) }
 
-// Remaining reports unreserved pool capacity.
-func (m *Manager) Remaining() units.Size { return m.mld.Remaining() }
+// Remaining reports unreserved capacity summed over healthy pools.
+func (m *Manager) Remaining() units.Size {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.remainingLocked()
+}
+
+func (m *Manager) remainingLocked() units.Size {
+	var n units.Size
+	for _, p := range m.pools {
+		if p.healthy {
+			n += p.mld.Remaining()
+		}
+	}
+	return n
+}
+
+// allocAnyLocked reserves up to size bytes from the first healthy pool
+// with free space.
+func (m *Manager) allocAnyLocked(size units.Size) (cxl.Extent, *pool, bool) {
+	for _, p := range m.pools {
+		if !p.healthy {
+			continue
+		}
+		if ext, ok := p.mld.AllocExtentAny(size); ok {
+			return ext, p, true
+		}
+	}
+	return cxl.Extent{}, nil, false
+}
 
 // AddTenant registers a tenant with a fixed address-space quota,
 // builds its DCD endpoint (device + mailbox + poison hooks) and binds
@@ -325,7 +442,7 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 	var granted []ExtentInfo
 	rollback := func() {
 		for _, e := range granted {
-			if err := m.mld.ReleaseExtent(cxl.Extent{Base: e.PoolBase, Size: e.Size}); err != nil {
+			if err := m.poolLocked(e.Pool).mld.ReleaseExtent(cxl.Extent{Base: e.PoolBase, Size: e.Size}); err != nil {
 				panic(fmt.Sprintf("fabric: grant rollback: %v", err))
 			}
 			if err := t.space.Free(cxl.Extent{Base: e.DPA, Size: e.Size}); err != nil {
@@ -340,14 +457,14 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 			rollback()
 			return nil, fmt.Errorf("fabric: tenant %s: address space exhausted", tenant)
 		}
-		poolExt, ok := m.mld.AllocExtentAny(units.Size(spaceExt.Size))
+		poolExt, pl, ok := m.allocAnyLocked(units.Size(spaceExt.Size))
 		if !ok {
 			if err := t.space.Free(spaceExt); err != nil {
 				panic(fmt.Sprintf("fabric: grant rollback: %v", err))
 			}
 			rollback()
 			return nil, fmt.Errorf("fabric: pool exhausted granting %v to %s (%v free)",
-				units.Size(want), tenant, m.mld.Remaining())
+				units.Size(want), tenant, m.remainingLocked())
 		}
 		if poolExt.Size < spaceExt.Size {
 			// Hand the unused tail of the address-space reservation back.
@@ -363,6 +480,7 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 			PoolBase: poolExt.Base,
 			Size:     poolExt.Size,
 			State:    ExtentPending,
+			Pool:     pl.name,
 		}
 		m.nextTag++
 		t.extents[info.Tag] = info
@@ -378,6 +496,7 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 // publishTableLocked rebuilds and publishes a tenant's data-path
 // mapping table from its active and revoked extents; caller holds m.mu.
 func publishTableLocked(t *Tenant) {
+	m := t.mgr
 	table := make([]mapping, 0, len(t.extents))
 	for _, e := range t.extents {
 		if e.State == ExtentPending {
@@ -387,7 +506,9 @@ func publishTableLocked(t *Tenant) {
 			dpa:      e.DPA,
 			poolBase: e.PoolBase,
 			size:     e.Size,
+			pool:     m.poolLocked(e.Pool).mld.Media(),
 			revoked:  e.State == ExtentRevoked,
+			frozen:   e.frozen,
 		})
 	}
 	sort.Slice(table, func(a, b int) bool { return table[a].dpa < table[b].dpa })
@@ -460,39 +581,21 @@ func (m *Manager) releaseCapacity(t *Tenant, ext cxl.DCDExtent) error {
 // straggling write through the old table cannot dirty capacity that a
 // concurrent grant hands to another tenant.
 func (m *Manager) dropLocked(t *Tenant, rec *ExtentInfo, scrub bool) error {
+	pl := m.poolLocked(rec.Pool)
 	delete(t.extents, rec.Tag)
 	publishTableLocked(t)
 	t.dev.drain()
 	if scrub {
-		if err := m.scrub(rec.PoolBase, rec.Size); err != nil {
+		// One scrub implementation for free/forced-reclaim and the RAS
+		// patrol repair path: ras.ZeroFill, so the two cannot diverge.
+		if err := ras.ZeroFill(pl.mld.Media(), rec.PoolBase, rec.Size); err != nil {
 			return err
 		}
 	}
-	if err := m.mld.ReleaseExtent(cxl.Extent{Base: rec.PoolBase, Size: rec.Size}); err != nil {
+	if err := pl.mld.ReleaseExtent(cxl.Extent{Base: rec.PoolBase, Size: rec.Size}); err != nil {
 		return err
 	}
 	return t.space.Free(cxl.Extent{Base: rec.DPA, Size: rec.Size})
-}
-
-// zeroChunk is the shared scrub source (WriteAt never mutates its
-// input); a package-level buffer keeps scrubbing allocation-free under
-// the manager lock.
-var zeroChunk [1 << 20]byte
-
-// scrub zeroes a pool range so a re-granted extent never leaks the
-// previous tenant's bytes (the fabric-level counterpart of sanitize).
-func (m *Manager) scrub(base, size uint64) error {
-	media := m.mld.Media()
-	for off := uint64(0); off < size; off += uint64(len(zeroChunk)) {
-		n := uint64(len(zeroChunk))
-		if off+n > size {
-			n = size - off
-		}
-		if err := media.WriteAt(zeroChunk[:n], int64(base+off)); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // RequestRelease queues polite release-request events covering at
@@ -555,10 +658,11 @@ func (m *Manager) ForceReclaim(tenant string) ([]ExtentInfo, error) {
 	publishTableLocked(t)
 	t.dev.drain()
 	for _, e := range revoked {
-		if err := m.scrub(e.PoolBase, e.Size); err != nil {
+		pl := m.poolLocked(e.Pool)
+		if err := ras.ZeroFill(pl.mld.Media(), e.PoolBase, e.Size); err != nil {
 			return revoked, err
 		}
-		if err := m.mld.ReleaseExtent(cxl.Extent{Base: e.PoolBase, Size: e.Size}); err != nil {
+		if err := pl.mld.ReleaseExtent(cxl.Extent{Base: e.PoolBase, Size: e.Size}); err != nil {
 			return revoked, err
 		}
 	}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -37,11 +38,22 @@ type tenantMedia struct {
 
 // mapping is one granted extent as the data path sees it.
 type mapping struct {
-	dpa      uint64 // tenant device address
-	poolBase uint64 // address in the pool media
+	dpa      uint64        // tenant device address
+	poolBase uint64        // address in the pool media
 	size     uint64
+	pool     memdev.Device // the pool backing this extent
 	revoked  bool
+	// frozen marks an extent mid-migration between pools: reads serve
+	// the (stable) current copy, writes back off with errFrozen and
+	// retry until the re-homed table is published.
+	frozen bool
 }
+
+// errFrozen is the internal write-path sentinel for a frozen extent.
+// Returning it immediately — instead of spinning inside access — lets
+// the access release its inflight count, so the manager's drain during
+// a migration cannot deadlock against a blocked writer.
+var errFrozen = errors.New("fabric: extent frozen for migration")
 
 // PoisonError reports an access to a revoked (forcibly reclaimed)
 // extent: the device returns the CXL poison indication instead of data.
@@ -149,16 +161,23 @@ func (d *tenantMedia) access(p []byte, off int64, write bool) error {
 		if m.revoked {
 			return &PoisonError{Device: d.name, DPA: dpa}
 		}
+		if write && m.frozen {
+			return errFrozen
+		}
 		n := m.dpa + m.size - dpa
 		if uint64(len(p)) < n {
 			n = uint64(len(p))
 		}
+		pool := m.pool
+		if pool == nil {
+			pool = d.pool
+		}
 		poolOff := int64(m.poolBase + (dpa - m.dpa))
 		var err error
 		if write {
-			err = d.pool.WriteAt(p[:n], poolOff)
+			err = pool.WriteAt(p[:n], poolOff)
 		} else {
-			err = d.pool.ReadAt(p[:n], poolOff)
+			err = pool.ReadAt(p[:n], poolOff)
 		}
 		if err != nil {
 			return err
@@ -179,10 +198,40 @@ func (d *tenantMedia) ReadAt(p []byte, off int64) error {
 }
 
 func (d *tenantMedia) WriteAt(p []byte, off int64) error {
-	if err := d.access(p, off, true); err != nil {
+	// A frozen extent (mid-migration) stalls the writer here, outside
+	// the inflight window, and retries from the top: each attempt
+	// reloads the table, so the write lands on the re-homed extent the
+	// moment it is published.
+	for {
+		err := d.access(p, off, true)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errFrozen) {
+			runtime.Gosched()
+			continue
+		}
 		return err
 	}
 	d.stats.Writes.Add(1)
 	d.stats.BytesWrite.Add(int64(len(p)))
 	return nil
+}
+
+// Committed implements memdev.RangeLister over the granted, non-revoked
+// extents — the footprint the RAS patrol scrubber walks for a tenant.
+func (d *tenantMedia) Committed() []memdev.Range {
+	t := *d.table.Load()
+	var out []memdev.Range
+	for _, m := range t {
+		if m.revoked {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Base+out[n-1].Size == m.dpa {
+			out[n-1].Size += m.size
+		} else {
+			out = append(out, memdev.Range{Base: m.dpa, Size: m.size})
+		}
+	}
+	return out
 }

@@ -14,6 +14,7 @@ package memdev
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -87,16 +88,59 @@ func (p Profile) StreamPeak(readFrac float64) units.Bandwidth {
 
 // Stats counts accesses to a device. All fields are updated atomically and
 // may be read concurrently.
+//
+// The RAS counters are the health state machine's raw inputs
+// (internal/ras): Correctable counts errors caught and repaired before a
+// demand access consumed them (latent poison a patrol scrub localised,
+// link CRC errors the retry machinery recovered are counted separately
+// in LinkRetries); Uncorrectable counts errors that reached a consumer —
+// demand poison hits and link errors that exhausted their retries.
+// LinkRetries counts CRC retransmissions the owning port attributed to
+// this device.
 type Stats struct {
 	Reads      atomic.Int64
 	Writes     atomic.Int64
 	BytesRead  atomic.Int64
 	BytesWrite atomic.Int64
+
+	Correctable   atomic.Int64
+	Uncorrectable atomic.Int64
+	LinkRetries   atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() (reads, writes, bytesRead, bytesWritten int64) {
 	return s.Reads.Load(), s.Writes.Load(), s.BytesRead.Load(), s.BytesWrite.Load()
+}
+
+// RASCounters is a plain-value copy of the error counters.
+type RASCounters struct {
+	Correctable   int64
+	Uncorrectable int64
+	LinkRetries   int64
+}
+
+// RAS returns a plain-value copy of the error counters.
+func (s *Stats) RAS() RASCounters {
+	return RASCounters{
+		Correctable:   s.Correctable.Load(),
+		Uncorrectable: s.Uncorrectable.Load(),
+		LinkRetries:   s.LinkRetries.Load(),
+	}
+}
+
+// Range is a contiguous committed span of a device's address space.
+type Range struct {
+	Base uint64
+	Size uint64
+}
+
+// RangeLister is implemented by devices that can enumerate their
+// committed (ever-written or currently mapped) address ranges. The
+// patrol scrubber walks these instead of the full capacity, so an
+// almost-empty 64 GiB device costs almost nothing to scrub.
+type RangeLister interface {
+	Committed() []Range
 }
 
 // Device is a byte-addressable memory medium.
@@ -229,6 +273,35 @@ func (s *sparseStore) touchedPages() int {
 	return n
 }
 
+// committed enumerates the materialised pages as sorted, coalesced
+// ranges. Pages materialise on first write and are never dropped short
+// of PowerCycle, so this is the "ever-written" footprint.
+func (s *sparseStore) committed() []Range {
+	var idx []int64
+	s.pages.Range(func(k, _ any) bool {
+		idx = append(idx, k.(int64))
+		return true
+	})
+	if len(idx) == 0 {
+		return nil
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	var out []Range
+	for _, i := range idx {
+		base := uint64(i) * pageSize
+		size := uint64(pageSize)
+		if end := uint64(s.cap); base+size > end {
+			size = end - base
+		}
+		if n := len(out); n > 0 && out[n-1].Base+out[n-1].Size == base {
+			out[n-1].Size += size
+		} else {
+			out = append(out, Range{Base: base, Size: size})
+		}
+	}
+	return out
+}
+
 // baseDevice implements the storage and bookkeeping shared by all device
 // models.
 type baseDevice struct {
@@ -249,6 +322,10 @@ func newBaseDevice(name string, capacity units.Size, persistent bool, profile Pr
 		store:      newSparseStore(capacity),
 	}
 }
+
+// Committed implements RangeLister: the materialised (ever-written)
+// ranges of the sparse store.
+func (d *baseDevice) Committed() []Range { return d.store.committed() }
 
 func (d *baseDevice) Name() string         { return d.name }
 func (d *baseDevice) Capacity() units.Size { return d.capacity }

@@ -71,10 +71,10 @@ type hostRegion struct {
 }
 
 func (r hostRegion) ReadAt(p []byte, off int64) error {
-	return r.h.Port.ReadAt(p, int64(r.h.Window.Base)+off)
+	return r.h.IO.ReadAt(p, int64(r.h.Window.Base)+off)
 }
 func (r hostRegion) WriteAt(p []byte, off int64) error {
-	return r.h.Port.WriteAt(p, int64(r.h.Window.Base)+off)
+	return r.h.IO.WriteAt(p, int64(r.h.Window.Base)+off)
 }
 func (r hostRegion) Size() int64      { return int64(r.h.Window.Size) }
 func (r hostRegion) Persistent() bool { return r.h.LD.Media().Persistent() }

@@ -36,8 +36,11 @@ type Node struct {
 	Machine *topology.Machine
 	// Engine models bandwidth on this host.
 	Engine *perf.Engine
-	// Port is the host's trained root port.
+	// Port is the host's trained root port (link state and stats; data
+	// traffic goes through IO).
 	Port *cxl.RootPort
+	// IO is the host's data path into the pool, in fabric HPA space.
+	IO cxl.MemIO
 	// Window is the enumerated HPA window of the host's partition.
 	Window cxl.MemWindow
 	// LD is the logical device carved for this host.
@@ -128,6 +131,7 @@ func New(k int, perHost units.Size) (*Cluster, error) {
 			Machine: m,
 			Engine:  perf.New(m),
 			Port:    rp,
+			IO:      rp,
 			Window:  h.Windows[0],
 			LD:      ld,
 		})

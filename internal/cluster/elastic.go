@@ -33,8 +33,12 @@ type Elastic struct {
 // tenant's DCD endpoint through the switch, and the enumerated
 // quota-sized HPA window extents appear inside.
 type ElasticHost struct {
-	Index  int
-	Port   *cxl.RootPort
+	Index int
+	// Port is the trained root port (link state and stats; data traffic
+	// goes through IO).
+	Port *cxl.RootPort
+	// IO is the tenant's data path, in fabric HPA space.
+	IO     cxl.MemIO
 	Window cxl.MemWindow
 	Tenant *fabric.Tenant
 }
@@ -129,7 +133,7 @@ func NewElastic(cfg ElasticConfig) (*Elastic, error) {
 		if err := e.Throttle.Register(name, t.Device().Stats(), 1/float64(cfg.Hosts)); err != nil {
 			return nil, err
 		}
-		e.Hosts = append(e.Hosts, &ElasticHost{Index: i, Port: rp, Window: h.Windows[0], Tenant: t})
+		e.Hosts = append(e.Hosts, &ElasticHost{Index: i, Port: rp, IO: rp, Window: h.Windows[0], Tenant: t})
 	}
 	if cfg.Initial > 0 {
 		for i := range e.Hosts {
@@ -315,9 +319,9 @@ func (e *Elastic) Drive(i int, total units.Size) (units.Bandwidth, error) {
 			return 0, err
 		}
 		if n%2 == 0 {
-			err = h.Port.WriteBurst(addr, buf)
+			err = h.IO.WriteBurst(addr, buf)
 		} else {
-			err = h.Port.ReadBurst(addr, buf)
+			err = h.IO.ReadBurst(addr, buf)
 		}
 		if err != nil {
 			return 0, err

@@ -97,9 +97,9 @@ func (c *Cluster) RunParallel(k int, bytesPerHost units.Size, threadsPerHost int
 				addr := h.Window.Base + off
 				var werr error
 				if moved%(2*burstBytes) == 0 {
-					werr = h.Port.WriteBurst(addr, buf)
+					werr = h.IO.WriteBurst(addr, buf)
 				} else {
-					werr = h.Port.ReadBurst(addr, buf)
+					werr = h.IO.ReadBurst(addr, buf)
 				}
 				if werr != nil {
 					errs[i] = werr

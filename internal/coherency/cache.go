@@ -12,21 +12,44 @@ import (
 // lineBytes is the coherence granule: one CXL.mem cache line.
 const lineBytes = uint64(cxl.LineSize)
 
-// NewPortAccessor adapts a host's root port to the Accessor interface:
-// reads and writes at base-relative offsets through the port's window.
-// Every shared-HDM attachment (topology.SetupShared, the cluster's
-// coherent segment) uses this one adapter for its data path.
-func NewPortAccessor(rp *cxl.RootPort, base uint64) Accessor {
-	return &portAccessor{rp: rp, base: int64(base)}
+// NewMemIOAccessor adapts any cxl.MemIO data path to the Accessor
+// interface at base-relative offsets. Line-aligned full-line transfers
+// — the shape of every coherent-cache fill and write-back — take the
+// CXL.mem line path (ReadLine/WriteLine); everything else falls back to
+// the byte path. Every shared-HDM attachment (topology.SetupShared, the
+// cluster's coherent segment) uses this one adapter.
+func NewMemIOAccessor(io cxl.MemIO, base uint64) Accessor {
+	return &memioAccessor{io: io, base: int64(base)}
 }
 
-type portAccessor struct {
-	rp   *cxl.RootPort
+// NewPortAccessor adapts a host's root port to the Accessor interface.
+//
+// Deprecated: a RootPort is a cxl.MemIO; use NewMemIOAccessor, which
+// also accepts interleave sets and device adapters.
+func NewPortAccessor(rp *cxl.RootPort, base uint64) Accessor {
+	return NewMemIOAccessor(rp, base)
+}
+
+type memioAccessor struct {
+	io   cxl.MemIO
 	base int64
 }
 
-func (a *portAccessor) ReadAt(p []byte, off int64) error  { return a.rp.ReadAt(p, a.base+off) }
-func (a *portAccessor) WriteAt(p []byte, off int64) error { return a.rp.WriteAt(p, a.base+off) }
+func (a *memioAccessor) ReadAt(p []byte, off int64) error {
+	abs := a.base + off
+	if len(p) == cxl.LineSize && abs%int64(cxl.LineSize) == 0 {
+		return a.io.ReadLine(uint64(abs), (*[cxl.LineSize]byte)(p))
+	}
+	return a.io.ReadAt(p, abs)
+}
+
+func (a *memioAccessor) WriteAt(p []byte, off int64) error {
+	abs := a.base + off
+	if len(p) == cxl.LineSize && abs%int64(cxl.LineSize) == 0 {
+		return a.io.WriteLine(uint64(abs), (*[cxl.LineSize]byte)(p))
+	}
+	return a.io.WriteAt(p, abs)
+}
 
 // victimPool recycles victim-line staging buffers so the miss path
 // stays allocation-free in steady state (see fill).

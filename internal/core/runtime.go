@@ -87,15 +87,15 @@ func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
 		var size int64
 		switch n.Kind {
 		case topology.NodeCXL:
-			// The DAX path to CXL memory goes through the root
-			// port: every pool access is CXL.mem traffic. An
-			// interleaved node routes through the striped path
-			// instead, fanning bulk transfers across its legs.
-			if n.Stripe != nil {
-				acc = &windowAccessor{port: n.Stripe, base: int64(n.Window.Base)}
-			} else {
-				acc = &windowAccessor{port: n.Port, base: int64(n.Window.Base)}
-			}
+			// The DAX path to CXL memory goes through the node's
+			// MemIO data path: every pool access is CXL.mem traffic,
+			// and an interleaved node routes through the striped path,
+			// fanning bulk transfers across its legs. Line-aligned
+			// interiors move as multi-line CXL.mem bursts, so pool view
+			// loads, persists and checkpoint chunk flushes cost
+			// O(bytes) on the wire instead of O(lines × codec round
+			// trips).
+			acc = n.DataPath()
 			size = int64(n.Window.Size)
 		default:
 			acc = n.Device
@@ -111,24 +111,6 @@ func assemble(m *topology.Machine, card *fpga.Prototype) (*Runtime, error) {
 		rt.mounts[n.ID] = mnt
 	}
 	return rt, nil
-}
-
-// windowAccessor adapts a CXL data path (a root port, or the striped
-// interleave set of a multi-leg node) + HPA window base to the pmemfs
-// accessor shape. Bulk transfers vectorise inside the path: line-aligned
-// interiors move as multi-line CXL.mem bursts (one codec header per
-// MaxBurstLines lines), so pool view loads, persists and checkpoint
-// chunk flushes cost O(bytes) on the wire instead of O(lines × codec
-// round trips) — and on a striped node they additionally fan out across
-// the legs.
-type windowAccessor struct {
-	port pmemfs.Accessor
-	base int64
-}
-
-func (a *windowAccessor) ReadAt(p []byte, off int64) error { return a.port.ReadAt(p, a.base+off) }
-func (a *windowAccessor) WriteAt(p []byte, off int64) error {
-	return a.port.WriteAt(p, a.base+off)
 }
 
 // MountFor returns the /mnt/pmemN mount of a node.

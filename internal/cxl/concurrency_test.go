@@ -49,16 +49,30 @@ func TestConcurrentMixedTrafficNoDuplicateTags(t *testing.T) {
 	var tagMu sync.Mutex
 	tags := make(map[uint16]int)
 	rp.SetFlitTrace(func(f Flit) {
-		if f.raw[0] != flitKindReq {
-			return
+		// Submissions travel either as full request flits (writes, burst
+		// headers) or packed four-per-flit SQ entries (reads); both carry
+		// the wire tag.
+		switch f.raw[0] {
+		case flitKindReq:
+			var req MemReq
+			if DecodeReqInto(&req, &f) != nil {
+				return
+			}
+			tagMu.Lock()
+			tags[req.Tag]++
+			tagMu.Unlock()
+		case flitKindSQ:
+			var sqes [SQEntriesPerFlit]SQE
+			n, err := DecodeSQInto(&sqes, &f)
+			if err != nil {
+				return
+			}
+			tagMu.Lock()
+			for i := 0; i < n; i++ {
+				tags[sqes[i].Tag]++
+			}
+			tagMu.Unlock()
 		}
-		var req MemReq
-		if DecodeReqInto(&req, &f) != nil {
-			return
-		}
-		tagMu.Lock()
-		tags[req.Tag]++
-		tagMu.Unlock()
 	})
 
 	var issued atomic.Int64

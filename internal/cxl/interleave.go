@@ -47,6 +47,10 @@ type stripeJob struct {
 	wg    *sync.WaitGroup
 	leg   int
 	write bool
+	// flush marks a doorbell job: instead of moving a span, the worker
+	// rings the leg port's doorbell so all legs flush their rings in
+	// parallel (InterleaveSet.Flush).
+	flush bool
 	hpa   uint64
 	p     []byte
 	err   error
@@ -74,7 +78,12 @@ func legWorker(ch chan *stripeJob) {
 // than queue, so N callers drive a leg's port N-wide over its virtual
 // channels instead of serialising behind one worker).
 func runStripeJob(j *stripeJob) {
-	j.err = j.set.runLeg(j.leg, j.write, j.hpa, j.p)
+	if j.flush {
+		j.set.legs()[j.leg].Flush()
+		j.err = nil
+	} else {
+		j.err = j.set.runLeg(j.leg, j.write, j.hpa, j.p)
+	}
 	j.wg.Done()
 }
 
@@ -326,10 +335,10 @@ func (s *InterleaveSet) ReadBurst(hpa uint64, p []byte) error {
 // see DESIGN.md §2d).
 func (s *InterleaveSet) do(write bool, hpa uint64, p []byte) error {
 	if !lineAligned(hpa) || len(p)%LineSize != 0 {
-		return &PortError{Port: s.name, Op: s.op(write), Addr: hpa, Why: "unaligned burst"}
+		return portErr(s.name, s.op(write), hpa, ErrUnaligned, "unaligned burst")
 	}
 	if hpa < s.base || hpa+uint64(len(p)) > s.base+s.size {
-		return &PortError{Port: s.name, Op: s.op(write), Addr: hpa, Why: "outside interleave window"}
+		return portErr(s.name, s.op(write), hpa, ErrOutsideWindow, "outside interleave window")
 	}
 	if len(p) == 0 {
 		return nil
@@ -589,6 +598,78 @@ func (s *InterleaveSet) smallAccess(write bool, hpa uint64, p []byte) error {
 		return rp.WriteAt(p, int64(hpa))
 	}
 	return rp.ReadAt(p, int64(hpa))
+}
+
+// SubmitRead enqueues a line read on the owning leg's ring without
+// ringing its doorbell; the set's Flush (or the token's Wait) completes
+// it. A granule mid-evacuation is serviced immediately through the
+// reroute path and returns an already-completed token.
+func (s *InterleaveSet) SubmitRead(hpa uint64, out *[LineSize]byte) (*Completion, error) {
+	if !lineAligned(hpa) {
+		return nil, portErr(s.name, "MemRd", hpa, ErrUnaligned, "unaligned")
+	}
+	defer s.exit(s.enter())
+	if ev := s.evac.Load(); ev != nil && s.evacOwned(ev, hpa) {
+		return immediateCompletion(OpMemRd, hpa, s.evacSmall(ev, false, hpa, out[:])), nil
+	}
+	return s.Route(hpa).SubmitRead(hpa, out)
+}
+
+// SubmitWrite enqueues a line write on the owning leg's ring without
+// ringing its doorbell; evacuating granules complete immediately, like
+// SubmitRead.
+func (s *InterleaveSet) SubmitWrite(hpa uint64, data *[LineSize]byte) (*Completion, error) {
+	if !lineAligned(hpa) {
+		return nil, portErr(s.name, "MemWr", hpa, ErrUnaligned, "unaligned")
+	}
+	defer s.exit(s.enter())
+	if ev := s.evac.Load(); ev != nil && s.evacOwned(ev, hpa) {
+		return immediateCompletion(OpMemWr, hpa, s.evacSmall(ev, true, hpa, data[:])), nil
+	}
+	return s.Route(hpa).SubmitWrite(hpa, data)
+}
+
+// Flush rings every leg's doorbell in parallel over the persistent leg
+// workers (leg 0 inline), so a batch submitted across the stripe
+// crosses all member links concurrently.
+func (s *InterleaveSet) Flush() {
+	defer s.exit(s.enter())
+	legs := s.legs()
+	n := len(legs)
+	if n == 1 {
+		legs[0].Flush()
+		return
+	}
+	c := stripeCallPool.Get().(*stripeCall)
+	c.wg.Add(n - 1)
+	for leg := 1; leg < n; leg++ {
+		j := &c.jobs[leg]
+		j.set, j.wg, j.leg, j.flush, j.err = s, &c.wg, leg, true, nil
+		select {
+		case s.workers[leg-1] <- j:
+		default:
+			go runStripeJob(j)
+		}
+	}
+	legs[0].Flush()
+	c.wg.Wait()
+	for leg := 1; leg < n; leg++ {
+		c.jobs[leg].set, c.jobs[leg].flush = nil, false
+	}
+	stripeCallPool.Put(c)
+}
+
+// Harvest drains completions from the member ports' CQs, in leg order.
+func (s *InterleaveSet) Harvest(dst []Completed) int {
+	defer s.exit(s.enter())
+	n := 0
+	for _, rp := range s.legs() {
+		n += rp.Harvest(dst[n:])
+		if n == len(dst) {
+			break
+		}
+	}
+	return n
 }
 
 func (s *InterleaveSet) String() string {

@@ -1,0 +1,171 @@
+package cxl
+
+import (
+	"cxlpmem/internal/memdev"
+)
+
+// MemIO is the package's one public I/O surface: every fabric data path
+// — a single root port, an interleave set striping over several, a
+// direct-attached device, a window-translated view — presents the same
+// shape, so consumers (core mounts, the tiering daemon, cluster hosts,
+// the coherency cache) program against the interface and never against
+// a concrete type.
+//
+// Address shapes are uniform across implementations:
+//
+//   - Line, burst and submit entry points take a host physical address
+//     as uint64, line-aligned for line ops and line-granular for bursts.
+//   - ReadAt/WriteAt take an arbitrary byte offset as int64 and handle
+//     unaligned heads/tails internally.
+//
+// Every failure is a *PortError wrapping one of the package sentinels
+// (errors.go), so callers classify with errors.Is.
+//
+// The synchronous methods are implemented as submit+flush+wait over the
+// same rings the asynchronous path uses. The asynchronous contract:
+// Submit* enqueues a descriptor and returns a pooled completion token
+// without moving data; Flush rings the doorbell, moving every queued
+// descriptor across the link in batched back-to-back flits; each
+// completion is then consumed exactly once — Wait the token, or drain
+// it through Harvest into a caller-owned slice. Both directions are
+// allocation-free in steady state.
+type MemIO interface {
+	// ReadLine fetches the 64-byte line at the line-aligned HPA.
+	ReadLine(hpa uint64, out *[LineSize]byte) error
+	// WriteLine stores a full 64-byte line at the line-aligned HPA.
+	WriteLine(hpa uint64, data *[LineSize]byte) error
+	// ReadBurst fetches len(p) bytes (line-granular) starting at hpa.
+	ReadBurst(hpa uint64, p []byte) error
+	// WriteBurst stores len(p) bytes (line-granular) starting at hpa.
+	WriteBurst(hpa uint64, p []byte) error
+	// ReadAt copies len(p) bytes from byte offset off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at byte offset off.
+	WriteAt(p []byte, off int64) error
+	// SubmitRead enqueues a line read; out must stay valid until the
+	// completion is consumed.
+	SubmitRead(hpa uint64, out *[LineSize]byte) (*Completion, error)
+	// SubmitWrite enqueues a line write; data is staged at submit time.
+	SubmitWrite(hpa uint64, data *[LineSize]byte) (*Completion, error)
+	// Flush rings the doorbell: queued submissions cross the link in
+	// batched flits, one VC acquisition per ring.
+	Flush()
+	// Harvest drains up to len(dst) completions into dst, returning the
+	// count. Completions consumed via Wait never surface here.
+	Harvest(dst []Completed) int
+}
+
+// Compile-time interface checks: every data path presents MemIO.
+var (
+	_ MemIO = (*RootPort)(nil)
+	_ MemIO = (*InterleaveSet)(nil)
+	_ MemIO = (*deviceIO)(nil)
+	_ MemIO = (*windowIO)(nil)
+)
+
+// NewDeviceIO adapts a raw media device to MemIO — the data path for
+// direct-attached (non-CXL) tiers, so consumers drive DRAM and fabric
+// memory through one interface. Submissions complete at submit time
+// (there is no link to batch over); Flush is a no-op and Harvest always
+// returns 0 because every token is handed back already completed.
+func NewDeviceIO(dev memdev.Device) MemIO { return &deviceIO{dev: dev} }
+
+type deviceIO struct {
+	dev memdev.Device
+}
+
+func (d *deviceIO) ReadLine(hpa uint64, out *[LineSize]byte) error {
+	if !lineAligned(hpa) {
+		return portErr(d.dev.Name(), "MemRd", hpa, ErrUnaligned, "unaligned")
+	}
+	return d.dev.ReadAt(out[:], int64(hpa))
+}
+
+func (d *deviceIO) WriteLine(hpa uint64, data *[LineSize]byte) error {
+	if !lineAligned(hpa) {
+		return portErr(d.dev.Name(), "MemWr", hpa, ErrUnaligned, "unaligned")
+	}
+	return d.dev.WriteAt(data[:], int64(hpa))
+}
+
+func (d *deviceIO) ReadBurst(hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return portErr(d.dev.Name(), "MemRdBurst", hpa, ErrUnaligned, "unaligned burst")
+	}
+	return d.dev.ReadAt(p, int64(hpa))
+}
+
+func (d *deviceIO) WriteBurst(hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return portErr(d.dev.Name(), "MemWrBurst", hpa, ErrUnaligned, "unaligned burst")
+	}
+	return d.dev.WriteAt(p, int64(hpa))
+}
+
+func (d *deviceIO) ReadAt(p []byte, off int64) error  { return d.dev.ReadAt(p, off) }
+func (d *deviceIO) WriteAt(p []byte, off int64) error { return d.dev.WriteAt(p, off) }
+
+func (d *deviceIO) SubmitRead(hpa uint64, out *[LineSize]byte) (*Completion, error) {
+	return immediateCompletion(OpMemRd, hpa, d.ReadLine(hpa, out)), nil
+}
+
+func (d *deviceIO) SubmitWrite(hpa uint64, data *[LineSize]byte) (*Completion, error) {
+	return immediateCompletion(OpMemWr, hpa, d.WriteLine(hpa, data)), nil
+}
+
+func (d *deviceIO) Flush() {}
+
+func (d *deviceIO) Harvest(dst []Completed) int { return 0 }
+
+// NewWindowIO presents a base-translated view of another MemIO: every
+// HPA/offset the caller passes is shifted by base before reaching the
+// inner path. Consumers that think in window-relative addresses (core
+// mounts, the coherency cache, per-tier views) compose this over a port
+// or interleave set instead of carrying the base themselves.
+func NewWindowIO(inner MemIO, base uint64) MemIO {
+	if base == 0 {
+		return inner
+	}
+	return &windowIO{inner: inner, base: base}
+}
+
+type windowIO struct {
+	inner MemIO
+	base  uint64
+}
+
+func (w *windowIO) ReadLine(hpa uint64, out *[LineSize]byte) error {
+	return w.inner.ReadLine(w.base+hpa, out)
+}
+
+func (w *windowIO) WriteLine(hpa uint64, data *[LineSize]byte) error {
+	return w.inner.WriteLine(w.base+hpa, data)
+}
+
+func (w *windowIO) ReadBurst(hpa uint64, p []byte) error {
+	return w.inner.ReadBurst(w.base+hpa, p)
+}
+
+func (w *windowIO) WriteBurst(hpa uint64, p []byte) error {
+	return w.inner.WriteBurst(w.base+hpa, p)
+}
+
+func (w *windowIO) ReadAt(p []byte, off int64) error {
+	return w.inner.ReadAt(p, off+int64(w.base))
+}
+
+func (w *windowIO) WriteAt(p []byte, off int64) error {
+	return w.inner.WriteAt(p, off+int64(w.base))
+}
+
+func (w *windowIO) SubmitRead(hpa uint64, out *[LineSize]byte) (*Completion, error) {
+	return w.inner.SubmitRead(w.base+hpa, out)
+}
+
+func (w *windowIO) SubmitWrite(hpa uint64, data *[LineSize]byte) (*Completion, error) {
+	return w.inner.SubmitWrite(w.base+hpa, data)
+}
+
+func (w *windowIO) Flush() { w.inner.Flush() }
+
+func (w *windowIO) Harvest(dst []Completed) int { return w.inner.Harvest(dst) }

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -27,14 +28,14 @@ func (s LinkState) String() string {
 }
 
 // Multi-queue issue model. The port exposes NumVCs virtual channels,
-// mirroring the per-QoS-class request queues of a real CXL host bridge:
-// every transaction is dispatched round-robin onto one VC, which owns a
-// slice of the tag space (the VC index in the high bits, a per-VC
-// sequence in the low bits) and its own retry state. Concurrent
-// ReadLine/WriteLine/ReadBurst/WriteBurst calls from many goroutines
-// therefore never contend on a shared sequence counter and can never
-// observe each other's tags: two in-flight transactions always differ
-// in VC bits or in sequence bits.
+// mirroring the per-QoS-class request queues of a real CXL host bridge.
+// Each VC owns an SQ/CQ ring pair (see ring.go) and a slice of the tag
+// space: the VC index in the high bits, the ring position in the low
+// bits. Submissions are dispatched by address in vcStride-line runs
+// (ringFor), so a burst of neighbouring submissions lands on one ring —
+// one doorbell, one batch — while sustained load still spreads over all
+// channels. Two in-flight transactions always differ in VC bits or
+// sequence bits.
 const (
 	// NumVCs is the number of virtual channels per port (power of two).
 	NumVCs = 8
@@ -44,20 +45,32 @@ const (
 	vcSeqMask = 1<<vcTagBits - 1
 )
 
-// virtualChannel is one issue queue: a private tag sequence plus a
-// retry counter. The sequence doubles as the issue counter (one tag
-// per transaction). Padded to a cache line so adjacent VCs do not
-// false-share under parallel load.
-type virtualChannel struct {
-	seq     atomic.Uint32
-	retries atomic.Int64
-	_       [48]byte
-}
-
 // VCStat is a snapshot of one virtual channel's counters.
 type VCStat struct {
 	Issued  int64
 	Retries int64
+}
+
+// PortStats is one atomic-snapshot view of a port's ring and link
+// counters — the successor of the Retries()/VCStats() pair, extended
+// with the ring-path counters.
+type PortStats struct {
+	// Issued counts descriptors submitted across all VCs.
+	Issued int64
+	// Flushed counts descriptors claimed by doorbell flushes.
+	Flushed int64
+	// Retries counts link-level retransmissions across all VCs.
+	Retries int64
+	// Doorbells counts flush claims (each moves a whole batch in one VC
+	// acquisition); Issued/Doorbells is the realised batch depth.
+	Doorbells int64
+	// Harvested counts completions drained through Harvest.
+	Harvested int64
+	// CQOverflows counts live completion-queue entries dropped because
+	// the CQ filled faster than Harvest drained it.
+	CQOverflows int64
+	// VCs holds the per-virtual-channel issue/retry split.
+	VCs [NumVCs]VCStat
 }
 
 // portHooks is the immutable snapshot of the port's observation and
@@ -76,16 +89,19 @@ type portHooks struct {
 // non-nil, points at the attached endpoint's media counters so link
 // CRC retries and exhausted-retry failures are attributed to the device
 // they occurred against — the health thresholds' retry-storm input.
+// queue caches the endpoint's QueueHandler (resolved once at training
+// time) so flushes do not pay a per-batch type assertion.
 type portSession struct {
 	state    LinkState
 	endpoint Endpoint
 	ras      *memdev.Stats
+	queue    QueueHandler
 }
 
-// retry charges one link-level retransmission to the issuing VC and to
-// the attached device's RAS counters.
-func (s *portSession) retry(vc *virtualChannel) {
-	vc.retries.Add(1)
+// retry charges one link-level retransmission to the issuing VC's ring
+// and to the attached device's RAS counters.
+func (s *portSession) retry(r *vcRing) {
+	r.retries.Add(1)
 	if s.ras != nil {
 		s.ras.LinkRetries.Add(1)
 	}
@@ -100,11 +116,15 @@ func (s *portSession) uncorrectable() {
 
 // RootPort is a host-side CXL port: the CPU's view of one PCIe/CXL slot.
 // It owns the physical link, performs link training against an attached
-// endpoint, and carries CXL.mem traffic to it. Every request/response
-// genuinely round-trips through the flit codec so protocol tests observe
-// real wire behaviour; the steady-state data path allocates nothing and
-// is safe for concurrent use by many goroutines (see the multi-queue
-// issue model above).
+// endpoint, and carries CXL.mem traffic to it over per-VC
+// submission/completion rings (ring.go) — the synchronous methods are
+// submit+flush+wait over the same rings the async Submit* path uses, so
+// there is exactly one data path. Every request/response genuinely
+// round-trips through the flit codec so protocol tests observe real
+// wire behaviour; the steady-state data path allocates nothing and is
+// safe for concurrent use by many goroutines.
+//
+// RootPort implements MemIO (memio.go).
 type RootPort struct {
 	name string
 	link *interconnect.Link
@@ -114,9 +134,9 @@ type RootPort struct {
 	sess  atomic.Pointer[portSession]
 	hooks atomic.Pointer[portHooks]
 
-	// rr dispatches transactions round-robin over the VCs.
-	rr  atomic.Uint32
-	vcs [NumVCs]virtualChannel
+	doorbells atomic.Int64
+	harvested atomic.Int64
+	rings     [NumVCs]vcRing
 }
 
 // maxLinkRetries bounds retransmission before the port reports an
@@ -130,30 +150,44 @@ const maxBurstBytes = MaxBurstLines * LineSize
 // modelled wire) so the bulk path stays allocation-free in steady state.
 var burstBufPool = sync.Pool{New: func() any { return new([maxBurstBytes]byte) }}
 
-// Retries reports how many link-level retransmissions occurred, summed
-// over all virtual channels.
-func (rp *RootPort) Retries() int64 {
-	var n int64
-	for i := range rp.vcs {
-		n += rp.vcs[i].retries.Load()
-	}
-	return n
-}
-
-// VCStats snapshots the per-virtual-channel issue and retry counters.
-// Issued counts modulo 2^32 (the sequence width).
-func (rp *RootPort) VCStats() [NumVCs]VCStat {
-	var out [NumVCs]VCStat
-	for i := range rp.vcs {
-		out[i] = VCStat{Issued: int64(rp.vcs[i].seq.Load()), Retries: rp.vcs[i].retries.Load()}
-	}
-	return out
-}
-
 // NewRootPort builds a root port over the given physical link.
 func NewRootPort(name string, link *interconnect.Link) *RootPort {
-	return &RootPort{name: name, link: link}
+	rp := &RootPort{name: name, link: link}
+	for i := range rp.rings {
+		rp.rings[i].init(rp, i)
+	}
+	return rp
 }
+
+// Stats returns one consistent snapshot of the port's ring and link
+// counters.
+func (rp *RootPort) Stats() PortStats {
+	var st PortStats
+	st.Doorbells = rp.doorbells.Load()
+	st.Harvested = rp.harvested.Load()
+	for i := range rp.rings {
+		r := &rp.rings[i]
+		issued := int64(r.tail.Load())
+		retries := r.retries.Load()
+		st.VCs[i] = VCStat{Issued: issued, Retries: retries}
+		st.Issued += issued
+		st.Flushed += int64(r.flushHead.Load())
+		st.Retries += retries
+		st.CQOverflows += r.overflows.Load()
+	}
+	return st
+}
+
+// Retries reports how many link-level retransmissions occurred, summed
+// over all virtual channels.
+//
+// Deprecated: use Stats().Retries.
+func (rp *RootPort) Retries() int64 { return rp.Stats().Retries }
+
+// VCStats snapshots the per-virtual-channel issue and retry counters.
+//
+// Deprecated: use Stats().VCs.
+func (rp *RootPort) VCStats() [NumVCs]VCStat { return rp.Stats().VCs }
 
 // Name returns the port name.
 func (rp *RootPort) Name() string { return rp.name }
@@ -235,6 +269,9 @@ func (rp *RootPort) Attach(ep Endpoint) error {
 			sess.ras = media.Stats()
 		}
 	}
+	if qh, ok := ep.(QueueHandler); ok {
+		sess.queue = qh
+	}
 	rp.sess.Store(sess)
 	return nil
 }
@@ -252,29 +289,88 @@ func (rp *RootPort) Detach() {
 func (rp *RootPort) session(op string, addr uint64) (*portSession, error) {
 	s := rp.sess.Load()
 	if s == nil || s.state != LinkUp || s.endpoint == nil {
-		return nil, &PortError{Port: rp.name, Op: op, Addr: addr, Why: "link down"}
+		return nil, portErr(rp.name, op, addr, ErrLinkDown, "link down")
 	}
 	return s, nil
 }
 
-// issue dispatches one transaction onto a virtual channel: round-robin
-// VC selection, then a tag from that VC's private sequence space.
-func (rp *RootPort) issue() (*virtualChannel, uint16) {
-	i := rp.rr.Add(1) & (NumVCs - 1)
-	vc := &rp.vcs[i]
-	return vc, uint16(i)<<vcTagBits | uint16(vc.seq.Add(1))&vcSeqMask
+// ringSession is the flush-path variant of session: the caller builds
+// per-descriptor errors itself, so only the down/up signal is needed.
+func (rp *RootPort) ringSession() (*portSession, error) {
+	s := rp.sess.Load()
+	if s == nil || s.state != LinkUp || s.endpoint == nil {
+		return nil, ErrLinkDown
+	}
+	return s, nil
 }
 
-// PortError reports a transaction-level failure at a port.
-type PortError struct {
-	Port string
-	Op   string
-	Addr uint64
-	Why  string
+// ringFor selects the VC ring for a submission by address: runs of
+// vcStride consecutive lines share a VC, so neighbouring submissions
+// land on one ring (one doorbell, device-side run coalescing) while
+// sustained traffic still spreads across all NumVCs — the address-
+// interleaved channel selection real memory controllers use, and it
+// costs no shared-counter RMW on the submit path.
+func (rp *RootPort) ringFor(hpa uint64) *vcRing {
+	return &rp.rings[(hpa/uint64(LineSize*vcStride))&(NumVCs-1)]
 }
 
-func (e *PortError) Error() string {
-	return fmt.Sprintf("cxl: %s: %s @%#x: %s", e.Port, e.Op, e.Addr, e.Why)
+// syncTransact is the synchronous submit+flush+wait path with the
+// flush claim fused into the submit: when this descriptor is the next
+// to flush, its one-entry span is claimed *before* the publish store,
+// so no concurrent flusher can ever observe the descriptor — it is
+// processed on this stack and the slot freed with a single release
+// store (done and consumed fused; the submitter is also the waiter, so
+// nobody else reads the token). When earlier descriptors are queued,
+// it degrades to the generic publish + flush + wait shape.
+func (rp *RootPort) syncTransact(kind uint8, op MemOpcode, addr, mask uint64, out *[LineSize]byte, data *[LineSize]byte, p []byte) error {
+	r := rp.ringFor(addr)
+	for {
+		t := r.tail.Load()
+		slot := &r.slots[t&ringMask]
+		seq := slot.seq.Load()
+		if seq != t {
+			if seq < t {
+				// Ring full: drain (waiters consume their slots) and retry.
+				rp.flushVC(r)
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !r.tail.CompareAndSwap(t, t+1) {
+			continue
+		}
+		d := &slot.desc
+		if r.flushHead.CompareAndSwap(t, t+1) {
+			// Fused: the slot is never published, so only the fields the
+			// wire movers read need to be filled.
+			d.op, d.addr, d.mask, d.out, d.p = op, addr, mask, out, p
+			if data != nil {
+				d.data = *data
+			}
+			rp.doorbells.Add(1)
+			var err error
+			s, serr := rp.ringSession()
+			hk := rp.hooks.Load()
+			switch {
+			case serr != nil:
+				err = portErr(rp.name, op.String(), addr, ErrLinkDown, "link down")
+			case kind == descBurst:
+				err = rp.ringBurst(s, hk, r, d, r.tagAt(t))
+			default:
+				err = rp.processSingle(r, slot, t, s, hk, r.tagAt(t))
+			}
+			slot.seq.Store(t + RingSlots)
+			return err
+		}
+		d.kind, d.noCQ, d.op, d.addr, d.mask, d.out, d.p = kind, true, op, addr, mask, out, p
+		if data != nil {
+			d.data = *data
+		}
+		slot.comp.pos, slot.comp.tag, slot.comp.err = t, r.tagAt(t), nil
+		slot.seq.Store(t + 1)
+		rp.flushVC(r)
+		return slot.comp.Wait()
+	}
 }
 
 // moveFlit pushes one already-encoded flit through the modelled wire:
@@ -293,63 +389,103 @@ func (rp *RootPort) moveFlit(h *portHooks, f *Flit) {
 	}
 }
 
-// transact moves one request through the flit codec to the endpoint and
-// decodes the response: one protected request flit out (sendHeader),
-// the endpoint's HandleMem, one protected response flit back
-// (recvResp, which also enforces tag matching). The fast path performs
-// zero heap allocations: flits live on the stack and decode happens in
-// place.
-func (rp *RootPort) transact(req *MemReq) (MemResp, error) {
-	s, err := rp.session(req.Opcode.String(), req.Addr)
+// --- MemIO: submission path ----------------------------------------------
+
+// SubmitRead enqueues a line read at hpa into out without ringing the
+// doorbell; the returned token completes after a Flush (or its Wait,
+// which flushes on demand). out must stay valid until the completion is
+// consumed.
+func (rp *RootPort) SubmitRead(hpa uint64, out *[LineSize]byte) (*Completion, error) {
+	if !lineAligned(hpa) {
+		return nil, portErr(rp.name, "MemRd", hpa, ErrUnaligned, "unaligned")
+	}
+	r := rp.ringFor(hpa)
+	c, err := r.submit(descLine, false, OpMemRd, hpa, 0, out, nil, nil)
 	if err != nil {
-		return MemResp{}, err
+		rp.flushVC(r)
+		if c, err = r.submit(descLine, false, OpMemRd, hpa, 0, out, nil, nil); err != nil {
+			return nil, portErr(rp.name, "MemRd", hpa, ErrRingFull, "submission ring full")
+		}
 	}
-	h := rp.hooks.Load()
-	vc, tag := rp.issue()
-	req.Tag = tag
-	var decoded MemReq
-	if err := rp.sendHeader(s, h, vc, req, &decoded); err != nil {
-		return MemResp{}, err
-	}
-	resp := s.endpoint.HandleMem(decoded)
-	var out MemResp
-	if err := rp.recvResp(s, h, vc, req.Opcode, req.Addr, req.Tag, &resp, &out); err != nil {
-		return MemResp{}, err
-	}
-	return out, nil
+	return c, nil
 }
+
+// SubmitWrite enqueues a line write at hpa without ringing the
+// doorbell. data is staged into the descriptor at submit time, so the
+// caller's buffer may be reused immediately.
+func (rp *RootPort) SubmitWrite(hpa uint64, data *[LineSize]byte) (*Completion, error) {
+	if !lineAligned(hpa) {
+		return nil, portErr(rp.name, "MemWr", hpa, ErrUnaligned, "unaligned")
+	}
+	r := rp.ringFor(hpa)
+	c, err := r.submit(descLine, false, OpMemWr, hpa, 0, nil, data, nil)
+	if err != nil {
+		rp.flushVC(r)
+		if c, err = r.submit(descLine, false, OpMemWr, hpa, 0, nil, data, nil); err != nil {
+			return nil, portErr(rp.name, "MemWr", hpa, ErrRingFull, "submission ring full")
+		}
+	}
+	return c, nil
+}
+
+// Flush rings the doorbell on every VC with queued submissions: each
+// ring's batch crosses the link in one VC acquisition.
+func (rp *RootPort) Flush() {
+	for i := range rp.rings {
+		if rp.rings[i].pending() {
+			rp.flushVC(&rp.rings[i])
+		}
+	}
+}
+
+// Harvest drains up to len(dst) completions from the port's CQs into
+// the caller-owned slice, consuming them. Completions already consumed
+// via Wait never surface here.
+func (rp *RootPort) Harvest(dst []Completed) int {
+	n := 0
+	for i := range rp.rings {
+		if rp.rings[i].cqN.Load() == 0 {
+			continue
+		}
+		n += rp.rings[i].harvest(dst[n:])
+		if n == len(dst) {
+			break
+		}
+	}
+	if n > 0 {
+		rp.harvested.Add(int64(n))
+	}
+	return n
+}
+
+// --- MemIO: synchronous path (submit+flush+wait over the same rings) -----
 
 // ReadLine fetches the 64-byte line at hpa.
 func (rp *RootPort) ReadLine(hpa uint64, out *[LineSize]byte) error {
 	if !lineAligned(hpa) {
-		return &PortError{Port: rp.name, Op: "MemRd", Addr: hpa, Why: "unaligned"}
+		return portErr(rp.name, "MemRd", hpa, ErrUnaligned, "unaligned")
 	}
-	req := MemReq{Opcode: OpMemRd, Addr: hpa}
-	resp, err := rp.transact(&req)
-	if err != nil {
-		return err
-	}
-	if resp.Opcode != RespMemData {
-		return &PortError{Port: rp.name, Op: "MemRd", Addr: hpa, Why: "response " + resp.Opcode.String()}
-	}
-	*out = resp.Data
-	return nil
+	return rp.syncTransact(descLine, OpMemRd, hpa, 0, out, nil, nil)
 }
 
 // WriteLine stores a full 64-byte line at hpa.
 func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 	if !lineAligned(hpa) {
-		return &PortError{Port: rp.name, Op: "MemWr", Addr: hpa, Why: "unaligned"}
+		return portErr(rp.name, "MemWr", hpa, ErrUnaligned, "unaligned")
 	}
-	req := MemReq{Opcode: OpMemWr, Addr: hpa, Data: *data}
-	resp, err := rp.transact(&req)
-	if err != nil {
-		return err
+	return rp.syncTransact(descLine, OpMemWr, hpa, 0, nil, data, nil)
+}
+
+// writePartial issues one MemWrPtl for the sub-line [lo, lo+n) of the
+// line at base.
+func (rp *RootPort) writePartial(base uint64, lo int, p []byte) error {
+	var data [LineSize]byte
+	copy(data[lo:lo+len(p)], p)
+	var mask uint64
+	for i := lo; i < lo+len(p); i++ {
+		mask |= 1 << uint(i)
 	}
-	if resp.Opcode != RespCmp {
-		return &PortError{Port: rp.name, Op: "MemWr", Addr: hpa, Why: "response " + resp.Opcode.String()}
-	}
-	return nil
+	return rp.syncTransact(descLine, OpMemWrPtl, base, mask, nil, &data, nil)
 }
 
 // --- Burst transactions --------------------------------------------------
@@ -360,6 +496,8 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 // fault injection, tracing and CRC/retry fire per flit — but the
 // endpoint services the whole burst with a single HDM access, so bulk
 // transfers cost O(bytes) instead of O(lines × codec round trips).
+// Bursts ride the rings as single descriptors (descBurst), so they
+// interleave with line submissions in descriptor order.
 //
 // Addressing semantics follow the endpoint's HDM decoder, as on real
 // hardware. Through a plain decoder a burst covers the contiguous HPA
@@ -372,12 +510,12 @@ func (rp *RootPort) WriteLine(hpa uint64, data *[LineSize]byte) error {
 // port exactly its owned lines, rather than issuing HPA-contiguous
 // bursts at an interleaved window directly.
 
-// sendHeader pushes one request flit (line transaction or burst
-// header) over the wire with link-level retry — a flit corrupted in
-// flight fails its CRC at the receiver, which NAKs, and the sender
-// retransmits from its retry buffer — and returns the decoded form the
-// device sees. Retries are charged to the issuing VC.
-func (rp *RootPort) sendHeader(s *portSession, h *portHooks, vc *virtualChannel, req *MemReq, decoded *MemReq) error {
+// sendHeader pushes one burst header flit over the wire with link-level
+// retry — a flit corrupted in flight fails its CRC at the receiver,
+// which NAKs, and the sender retransmits from its retry buffer — and
+// returns the decoded form the device sees. Retries are charged to the
+// issuing VC's ring.
+func (rp *RootPort) sendHeader(s *portSession, h *portHooks, r *vcRing, req *MemReq, decoded *MemReq) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -388,9 +526,9 @@ func (rp *RootPort) sendHeader(s *portSession, h *portHooks, vc *virtualChannel,
 		}
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
-			return &PortError{Port: rp.name, Op: req.Opcode.String(), Addr: req.Addr, Why: "uncorrectable link error: " + err.Error()}
+			return portErr(rp.name, req.Opcode.String(), req.Addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())
 		}
-		s.retry(vc)
+		s.retry(r)
 	}
 }
 
@@ -398,28 +536,28 @@ func (rp *RootPort) sendHeader(s *portSession, h *portHooks, vc *virtualChannel,
 // retry and lands it in dst. f is caller-owned scratch, reused across
 // the beats of a burst so the wire loop does not re-zero a flit per
 // line.
-func (rp *RootPort) moveData(s *portSession, h *portHooks, vc *virtualChannel, f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
+func (rp *RootPort) moveData(s *portSession, h *portHooks, r *vcRing, f *Flit, op MemOpcode, addr uint64, tag uint16, seq uint32, src, dst *[LineSize]byte) error {
 	for attempt := 0; ; attempt++ {
 		EncodeDataInto(f, tag, seq, src)
 		rp.moveFlit(h, f)
 		gotTag, gotSeq, err := DecodeDataInto(dst, f)
 		if err == nil {
 			if gotTag != tag || gotSeq != seq {
-				return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("data flit tag/seq mismatch: sent %d/%d got %d/%d", tag, seq, gotTag, gotSeq)}
+				return portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("data flit tag/seq mismatch: sent %d/%d got %d/%d", tag, seq, gotTag, gotSeq))
 			}
 			return nil
 		}
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
-			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error on data flit: " + err.Error()}
+			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error on data flit: "+err.Error())
 		}
-		s.retry(vc)
+		s.retry(r)
 	}
 }
 
 // recvResp pushes one completion/response flit back over the wire with
 // the same retry protection and enforces tag matching.
-func (rp *RootPort) recvResp(s *portSession, h *portHooks, vc *virtualChannel, op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
+func (rp *RootPort) recvResp(s *portSession, h *portHooks, r *vcRing, op MemOpcode, addr uint64, tag uint16, resp *MemResp, out *MemResp) error {
 	var f Flit
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -430,12 +568,12 @@ func (rp *RootPort) recvResp(s *portSession, h *portHooks, vc *virtualChannel, o
 		}
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
-			return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: "uncorrectable link error: " + err.Error()}
+			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())
 		}
-		s.retry(vc)
+		s.retry(r)
 	}
 	if out.Tag != tag {
-		return &PortError{Port: rp.name, Op: op.String(), Addr: addr, Why: fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag)}
+		return portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag))
 	}
 	return nil
 }
@@ -488,33 +626,33 @@ func (rp *RootPort) handleBurst(ep Endpoint, req MemReq, payload []byte) MemResp
 // transactions; len(p) must be a multiple of LineSize.
 func (rp *RootPort) WriteBurst(hpa uint64, p []byte) error {
 	if !lineAligned(hpa) || len(p)%LineSize != 0 {
-		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "unaligned burst"}
+		return portErr(rp.name, "MemWrBurst", hpa, ErrUnaligned, "unaligned burst")
 	}
-	for len(p) > 0 {
-		n := len(p)
-		if n > maxBurstBytes {
-			n = maxBurstBytes
-		}
-		if err := rp.writeBurstChunk(hpa, p[:n]); err != nil {
-			return err
-		}
-		p = p[n:]
-		hpa += uint64(n)
+	if len(p) == 0 {
+		return nil
 	}
-	return nil
+	return rp.syncTransact(descBurst, OpMemWrBurst, hpa, 0, nil, nil, p)
 }
 
-func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
-	s, err := rp.session("MemWrBurst", hpa)
-	if err != nil {
-		return err
+// ReadBurst fetches len(p) bytes from the line-aligned HPA hpa using
+// burst transactions; len(p) must be a multiple of LineSize.
+func (rp *RootPort) ReadBurst(hpa uint64, p []byte) error {
+	if !lineAligned(hpa) || len(p)%LineSize != 0 {
+		return portErr(rp.name, "MemRdBurst", hpa, ErrUnaligned, "unaligned burst")
 	}
-	h := rp.hooks.Load()
-	vc, tag := rp.issue()
+	if len(p) == 0 {
+		return nil
+	}
+	return rp.syncTransact(descBurst, OpMemRdBurst, hpa, 0, nil, nil, p)
+}
+
+// writeBurstChunk moves one ≤maxBurstBytes write burst chunk for a ring
+// burst descriptor: header, data beats, device, completion.
+func (rp *RootPort) writeBurstChunk(s *portSession, h *portHooks, r *vcRing, tag uint16, hpa uint64, p []byte) error {
 	lines := len(p) / LineSize
 	req := MemReq{Opcode: OpMemWrBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(s, h, vc, &req, &decoded); err != nil {
+	if err := rp.sendHeader(s, h, r, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
@@ -522,7 +660,7 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(p[i*LineSize:])
 		dst := (*[LineSize]byte)(buf[i*LineSize:])
-		if err := rp.moveData(s, h, vc, &f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(s, h, r, &f, OpMemWrBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}
@@ -530,64 +668,40 @@ func (rp *RootPort) writeBurstChunk(hpa uint64, p []byte) error {
 	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	burstBufPool.Put(buf)
 	var out MemResp
-	if err := rp.recvResp(s, h, vc, OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(s, h, r, OpMemWrBurst, hpa, req.Tag, &resp, &out); err != nil {
 		return err
 	}
 	if out.Opcode != RespCmp {
-		return &PortError{Port: rp.name, Op: "MemWrBurst", Addr: hpa, Why: "response " + out.Opcode.String()}
+		return portErr(rp.name, "MemWrBurst", hpa, ErrBadResponse, "response "+out.Opcode.String())
 	}
 	return nil
 }
 
-// ReadBurst fetches len(p) bytes from the line-aligned HPA hpa using
-// burst transactions; len(p) must be a multiple of LineSize.
-func (rp *RootPort) ReadBurst(hpa uint64, p []byte) error {
-	if !lineAligned(hpa) || len(p)%LineSize != 0 {
-		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "unaligned burst"}
-	}
-	for len(p) > 0 {
-		n := len(p)
-		if n > maxBurstBytes {
-			n = maxBurstBytes
-		}
-		if err := rp.readBurstChunk(hpa, p[:n]); err != nil {
-			return err
-		}
-		p = p[n:]
-		hpa += uint64(n)
-	}
-	return nil
-}
-
-func (rp *RootPort) readBurstChunk(hpa uint64, p []byte) error {
-	s, err := rp.session("MemRdBurst", hpa)
-	if err != nil {
-		return err
-	}
-	h := rp.hooks.Load()
-	vc, tag := rp.issue()
+// readBurstChunk moves one ≤maxBurstBytes read burst chunk for a ring
+// burst descriptor.
+func (rp *RootPort) readBurstChunk(s *portSession, h *portHooks, r *vcRing, tag uint16, hpa uint64, p []byte) error {
 	lines := len(p) / LineSize
 	req := MemReq{Opcode: OpMemRdBurst, Addr: hpa, Lines: uint16(lines), Tag: tag}
 	var decoded MemReq
-	if err := rp.sendHeader(s, h, vc, &req, &decoded); err != nil {
+	if err := rp.sendHeader(s, h, r, &req, &decoded); err != nil {
 		return err
 	}
 	buf := burstBufPool.Get().(*[maxBurstBytes]byte)
 	resp := rp.handleBurst(s.endpoint, decoded, buf[:len(p)])
 	var out MemResp
-	if err := rp.recvResp(s, h, vc, OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
+	if err := rp.recvResp(s, h, r, OpMemRdBurst, hpa, req.Tag, &resp, &out); err != nil {
 		burstBufPool.Put(buf)
 		return err
 	}
 	if out.Opcode != RespMemData {
 		burstBufPool.Put(buf)
-		return &PortError{Port: rp.name, Op: "MemRdBurst", Addr: hpa, Why: "response " + out.Opcode.String()}
+		return portErr(rp.name, "MemRdBurst", hpa, ErrBadResponse, "response "+out.Opcode.String())
 	}
 	var f Flit
 	for i := 0; i < lines; i++ {
 		src := (*[LineSize]byte)(buf[i*LineSize:])
 		dst := (*[LineSize]byte)(p[i*LineSize:])
-		if err := rp.moveData(s, h, vc, &f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
+		if err := rp.moveData(s, h, r, &f, OpMemRdBurst, hpa, req.Tag, uint32(i), src, dst); err != nil {
 			burstBufPool.Put(buf)
 			return err
 		}
@@ -637,26 +751,6 @@ func (rp *RootPort) ReadAt(p []byte, off int64) error {
 			return err
 		}
 		copy(p, line[:len(p)])
-	}
-	return nil
-}
-
-// writePartial issues one MemWrPtl for the sub-line [lo, lo+n) of the
-// line at base.
-func (rp *RootPort) writePartial(base uint64, lo int, p []byte) error {
-	var req MemReq
-	req.Opcode = OpMemWrPtl
-	req.Addr = base
-	copy(req.Data[lo:lo+len(p)], p)
-	for i := lo; i < lo+len(p); i++ {
-		req.Mask |= 1 << uint(i)
-	}
-	resp, err := rp.transact(&req)
-	if err != nil {
-		return err
-	}
-	if resp.Opcode != RespCmp {
-		return &PortError{Port: rp.name, Op: "MemWrPtl", Addr: base, Why: "response " + resp.Opcode.String()}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/memdev"
 	"cxlpmem/internal/topology"
 	"cxlpmem/internal/units"
@@ -24,6 +25,12 @@ import (
 
 // PageSize is the migration granule (2 MiB, a huge page).
 const PageSize = 2 << 20
+
+// migrateChunk is the double-buffering granule for page moves: while
+// chunk k drains into the destination tier, chunk k+1 is already being
+// fetched from the source, so a cross-tier move costs roughly
+// max(read, write) instead of read+write.
+const migrateChunk = 256 << 10
 
 // Tier is one memory technology in the hybrid hierarchy, fastest first.
 type Tier struct {
@@ -33,9 +40,14 @@ type Tier struct {
 	Node *topology.Node
 	// Capacity in pages granted to the manager.
 	CapacityPages int
+	// IO is the tier's data path. Left nil, NewManager resolves it from
+	// the node (Node.DataPath()): the striped or window-translated
+	// CXL.mem path for CXL tiers, the raw device for direct-attached
+	// ones. Tests may inject a custom MemIO.
+	IO cxl.MemIO
 
-	used map[PageID]int64 // page -> device offset
-	free []int64          // free device offsets
+	used map[PageID]int64 // page -> tier-relative offset
+	free []int64          // free tier-relative offsets
 }
 
 // PageID names a managed page.
@@ -73,6 +85,9 @@ func NewManager(tiers ...*Tier) (*Manager, error) {
 		need := int64(t.CapacityPages) * PageSize
 		if need > t.Node.Device.Capacity().Bytes() {
 			return nil, fmt.Errorf("tiering: tier %s wants %d bytes, device has %v", t.Name, need, t.Node.Device.Capacity())
+		}
+		if t.IO == nil {
+			t.IO = t.Node.DataPath()
 		}
 		t.used = make(map[PageID]int64)
 		t.free = t.free[:0]
@@ -142,7 +157,7 @@ func (m *Manager) Read(id PageID, p []byte, off int64) error {
 		return err
 	}
 	st.accesses++
-	return t.Node.Device.ReadAt(p, base+off)
+	return t.IO.ReadAt(p, base+off)
 }
 
 // Write copies into a page, counting the access.
@@ -157,7 +172,7 @@ func (m *Manager) Write(id PageID, p []byte, off int64) error {
 		return err
 	}
 	st.accesses++
-	return t.Node.Device.WriteAt(p, base+off)
+	return t.IO.WriteAt(p, base+off)
 }
 
 // TierOf reports a page's current tier index (0 = fastest).
@@ -191,6 +206,53 @@ var pagePool = sync.Pool{New: func() any {
 	return &b
 }}
 
+// pipeCopy moves n bytes from src to dst through two migrateChunk-sized
+// halves of buf, double-buffered: the unbuffered handoff makes the
+// reader block until the writer has accepted chunk k, so the reader
+// refills a half only after its previous occupant has fully drained —
+// read of chunk k+1 overlaps write of chunk k, with no shared-buffer
+// race. The writer keeps draining after a failure so the reader never
+// blocks on a dead consumer; the first error from either side wins.
+func pipeCopy(src cxl.MemIO, srcOff int64, dst cxl.MemIO, dstOff int64, n int64, buf []byte) error {
+	type chunk struct {
+		b   []byte
+		off int64
+	}
+	ch := make(chan chunk)
+	var wg sync.WaitGroup
+	var werr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := range ch {
+			if werr == nil {
+				werr = dst.WriteAt(c.b, dstOff+c.off)
+			}
+		}
+	}()
+	var rerr error
+	for off := int64(0); off < n; off += migrateChunk {
+		end := off + migrateChunk
+		if end > n {
+			end = n
+		}
+		b := buf[:end-off]
+		if (off/migrateChunk)%2 == 1 {
+			b = buf[migrateChunk : migrateChunk+(end-off)]
+		}
+		if rerr = src.ReadAt(b, srcOff+off); rerr != nil {
+			break
+		}
+		ch <- chunk{b: b, off: off}
+	}
+	close(ch)
+	wg.Wait()
+	if rerr != nil {
+		return rerr
+	}
+	return werr
+}
+
 // migrate physically moves a page between tiers. Caller holds the lock
 // and has verified a free slot exists on dst.
 func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
@@ -200,11 +262,7 @@ func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
 	dstOff := dstT.free[len(dstT.free)-1]
 	bufp := pagePool.Get().(*[]byte)
 	defer pagePool.Put(bufp)
-	buf := *bufp
-	if err := src.Node.Device.ReadAt(buf, srcOff); err != nil {
-		return err
-	}
-	if err := dstT.Node.Device.WriteAt(buf, dstOff); err != nil {
+	if err := pipeCopy(src.IO, srcOff, dstT.IO, dstOff, PageSize, (*bufp)[:2*migrateChunk]); err != nil {
 		return err
 	}
 	dstT.free = dstT.free[:len(dstT.free)-1]
@@ -316,26 +374,26 @@ func (m *Manager) Rebalance() (int, error) {
 	return migrations, nil
 }
 
-// swap exchanges two pages' backing slots (and contents) across tiers.
+// swap exchanges two pages' backing slots (and contents) across tiers:
+// page A is staged whole, then B streams into A's old slot through the
+// double-buffered pipe (read of B's chunk k+1 overlapping the write of
+// chunk k into tier A), and finally the staged A drains into B's slot.
 // Caller holds the lock.
 func (m *Manager) swap(idA PageID, stA *pageState, idB PageID, stB *pageState) error {
 	tA, tB := m.tiers[stA.tier], m.tiers[stB.tier]
 	offA, offB := tA.used[idA], tB.used[idB]
 	bufAp := pagePool.Get().(*[]byte)
-	bufBp := pagePool.Get().(*[]byte)
+	chunkp := pagePool.Get().(*[]byte)
 	defer pagePool.Put(bufAp)
-	defer pagePool.Put(bufBp)
-	bufA, bufB := *bufAp, *bufBp
-	if err := tA.Node.Device.ReadAt(bufA, offA); err != nil {
+	defer pagePool.Put(chunkp)
+	bufA := *bufAp
+	if err := tA.IO.ReadAt(bufA, offA); err != nil {
 		return err
 	}
-	if err := tB.Node.Device.ReadAt(bufB, offB); err != nil {
+	if err := pipeCopy(tB.IO, offB, tA.IO, offA, PageSize, (*chunkp)[:2*migrateChunk]); err != nil {
 		return err
 	}
-	if err := tA.Node.Device.WriteAt(bufB, offA); err != nil {
-		return err
-	}
-	if err := tB.Node.Device.WriteAt(bufA, offB); err != nil {
+	if err := tB.IO.WriteAt(bufA, offB); err != nil {
 		return err
 	}
 	delete(tA.used, idA)

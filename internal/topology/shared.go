@@ -155,7 +155,7 @@ func SetupShared(opts SharedOptions) (*SharedHDM, error) {
 			VPPB:       vppb,
 			Port:       rp,
 			WindowBase: base,
-			Accessor:   coherency.NewPortAccessor(rp, base),
+			Accessor:   coherency.NewMemIOAccessor(rp, base),
 		})
 	}
 

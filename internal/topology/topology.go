@@ -143,6 +143,23 @@ func (n *Node) EffectiveCap(readFrac float64) units.Bandwidth {
 	return cap
 }
 
+// DataPath returns the node's memory data path as a cxl.MemIO in
+// node-relative address space (offset 0 is the node's first byte): the
+// striped interleave set for a multi-leg CXL node, the window-translated
+// root port for a single-leg one, and a direct device adapter for
+// DRAM/PMem nodes (immediate completions, no link traversal). Consumers
+// program against the interface, never against the concrete plumbing.
+func (n *Node) DataPath() cxl.MemIO {
+	switch {
+	case n.Stripe != nil:
+		return cxl.NewWindowIO(n.Stripe, n.Window.Base)
+	case n.Port != nil:
+		return cxl.NewWindowIO(n.Port, n.Window.Base)
+	default:
+		return cxl.NewDeviceIO(n.Device)
+	}
+}
+
 // Persistent reports whether the node's media survives power cycles.
 func (n *Node) Persistent() bool { return n.Device.Persistent() }
 

@@ -16,6 +16,8 @@
 //	fabricctl [flags] health
 //	fabricctl [flags] evacuate  -pool NAME
 //	fabricctl [flags] watch-events
+//	fabricctl [flags] top       -iterations N -interval D -serve ADDR
+//	fabricctl [flags] trace     -port N -n FLITS
 package main
 
 import (
@@ -44,7 +46,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events")
+		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events | top | trace")
 	}
 
 	e, err := cluster.NewElastic(cluster.ElasticConfig{
@@ -130,6 +132,10 @@ func main() {
 		runEvacuate(e, *pool)
 	case "watch-events":
 		watchEvents(e)
+	case "top":
+		runTop(e, args)
+	case "trace":
+		runTrace(e, args)
 	default:
 		log.Fatalf("unknown subcommand %q", cmd)
 	}

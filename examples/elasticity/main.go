@@ -11,10 +11,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 
 	"cxlpmem/internal/cluster"
+	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/telemetry"
 	"cxlpmem/internal/tiering"
 	"cxlpmem/internal/topology"
 	"cxlpmem/internal/units"
@@ -38,6 +41,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(e.Describe())
+
+	// One registry observes everything below: every host port's latency
+	// histograms and ring counters, the fabric manager's grant/reclaim
+	// ledger, and (wired later) the tiering manager's migrations. The
+	// same registry is what `fabricctl top -serve` exports over HTTP.
+	// The demo moves only a few hundred transactions per host, so sample
+	// densely; a long-lived deployment would keep the 1-in-64 default.
+	reg := telemetry.NewRegistry()
+	e.EnableTelemetry(reg, cxl.TelemetryOptions{SampleN: 4})
 
 	// --- Elastic growth under skewed QoS shares -----------------------
 	// host0's workload heats up: it gets more capacity and a bigger
@@ -118,6 +130,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mgr.RegisterMetrics(reg)
 	var pages []tiering.PageID
 	for i := 0; i < 6; i++ {
 		id, err := mgr.Alloc()
@@ -173,4 +186,29 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(e.Fabric.Describe())
+
+	// --- The whole run through one pane of glass ----------------------
+	// Everything above left its trace in the registry: port traffic and
+	// tail latency, the fabric grant/reclaim ledger, and the tiering
+	// migrations — one Gather, no per-subsystem plumbing.
+	fmt.Println("\n── telemetry: the same story, read back from the unified registry")
+	var burst *telemetry.HistSnapshot
+	for _, s := range reg.Gather() {
+		switch {
+		case s.Kind == telemetry.KindHistogram &&
+			s.Name == "cxl_port_latency_ns" &&
+			strings.Contains(s.Labels, `port="rp-h0"`) &&
+			strings.Contains(s.Labels, `op="burst"`):
+			burst = s.Hist
+		case s.Kind == telemetry.KindHistogram, s.Value == 0:
+		case strings.HasPrefix(s.Name, "cxl_port_issued"),
+			strings.HasPrefix(s.Name, "fabric_"),
+			strings.HasPrefix(s.Name, "tiering_"):
+			fmt.Printf("   %s%s = %.0f\n", s.Name, s.Labels, s.Value)
+		}
+	}
+	if burst != nil && burst.Count > 0 {
+		fmt.Printf("   host0 burst latency: p50=%dns p99=%dns over %d sampled transactions\n",
+			burst.Quantile(0.50), burst.Quantile(0.99), burst.Count)
+	}
 }

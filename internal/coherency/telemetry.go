@@ -1,0 +1,37 @@
+package coherency
+
+import (
+	"cxlpmem/internal/telemetry"
+)
+
+// RegisterCacheMetrics exposes a coherent cache's counters through the
+// registry, labelled by host (the cache's owner).
+func RegisterCacheMetrics(reg *telemetry.Registry, host string, c *CoherentCache) {
+	labels := telemetry.Labels("host", host)
+	st := c.Stats()
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		e.Counter("coherency_cache_hits_total", labels, st.Hits.Load())
+		e.Counter("coherency_cache_misses_total", labels, st.Misses.Load())
+		e.Counter("coherency_cache_evictions_total", labels, st.Evictions.Load())
+		e.Counter("coherency_cache_writebacks_total", labels, st.Writebacks.Load())
+		e.Counter("coherency_cache_upgrades_total", labels, st.Upgrades.Load())
+		e.Counter("coherency_snoops_served_total", labels, st.SnoopsServed.Load())
+		e.Counter("coherency_snoop_writebacks_total", labels, st.SnoopWritebacks.Load())
+	})
+}
+
+// RegisterDirectoryMetrics exposes the device-side directory's counters
+// through the registry.
+func RegisterDirectoryMetrics(reg *telemetry.Registry, name string, d *Directory) {
+	labels := telemetry.Labels("dir", name)
+	st := d.Stats()
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		e.Counter("coherency_shared_grants_total", labels, st.SharedGrants.Load())
+		e.Counter("coherency_exclusive_grants_total", labels, st.ExclusiveGrants.Load())
+		e.Counter("coherency_snoops_total", labels, st.Snoops.Load())
+		e.Counter("coherency_dir_writebacks_total", labels, st.Writebacks.Load())
+		e.Counter("coherency_downgrades_total", labels, st.Downgrades.Load())
+		e.Counter("coherency_invalidations_total", labels, st.Invalidations.Load())
+		e.Counter("coherency_miss_waits_total", labels, st.MissWaits.Load())
+	})
+}

@@ -105,8 +105,8 @@ func TestBurstRetryRecoversTransientDataCorruption(t *testing.T) {
 	if !bytes.Equal(in, out) {
 		t.Error("data corrupted despite retry")
 	}
-	if rp.Retries() != 1 {
-		t.Errorf("retries = %d, want 1", rp.Retries())
+	if rp.Stats().Retries != 1 {
+		t.Errorf("retries = %d, want 1", rp.Stats().Retries)
 	}
 }
 
@@ -128,8 +128,8 @@ func TestBurstRetryExhaustionOnDataFlit(t *testing.T) {
 	if !ok || !strings.Contains(pe.Why, "data flit") {
 		t.Errorf("err = %v, want PortError on data flit", err)
 	}
-	if rp.Retries() < maxLinkRetries {
-		t.Errorf("retries = %d, want >= %d", rp.Retries(), maxLinkRetries)
+	if rp.Stats().Retries < maxLinkRetries {
+		t.Errorf("retries = %d, want >= %d", rp.Stats().Retries, maxLinkRetries)
 	}
 }
 

@@ -144,7 +144,7 @@ func TestConcurrentMixedTrafficNoDuplicateTags(t *testing.T) {
 		t.Errorf("traced %d distinct request tags, want %d", len(tags), issued.Load())
 	}
 	var vcIssued int64
-	for _, vc := range rp.VCStats() {
+	for _, vc := range rp.Stats().VCs {
 		vcIssued += vc.Issued
 	}
 	if vcIssued != issued.Load() {
@@ -217,15 +217,15 @@ func TestConcurrentTrafficWithFaultInjection(t *testing.T) {
 		}
 	}
 
-	if got, want := rp.Retries(), injected.Load(); got != want {
+	if got, want := rp.Stats().Retries, injected.Load(); got != want {
 		t.Errorf("Retries() = %d, want %d (one retransmission per injected fault)", got, want)
 	}
 	var vcRetries int64
-	for _, vc := range rp.VCStats() {
+	for _, vc := range rp.Stats().VCs {
 		vcRetries += vc.Retries
 	}
-	if vcRetries != rp.Retries() {
-		t.Errorf("per-VC retry counters sum to %d, want %d", vcRetries, rp.Retries())
+	if vcRetries != rp.Stats().Retries {
+		t.Errorf("per-VC retry counters sum to %d, want %d", vcRetries, rp.Stats().Retries)
 	}
 }
 

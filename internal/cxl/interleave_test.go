@@ -244,7 +244,7 @@ func TestInterleaveLegFaultIsolation(t *testing.T) {
 		t.Error("data corrupted despite per-leg retry")
 	}
 	for i, rp := range s.Ports() {
-		r := rp.Retries()
+		r := rp.Stats().Retries
 		if i == faulted && r == 0 {
 			t.Error("faulted leg recorded no retries")
 		}
@@ -342,8 +342,8 @@ func TestInterleaveConcurrentStripes(t *testing.T) {
 		}
 	}
 	for i, rp := range s.Ports() {
-		if i != faulted && rp.Retries() != 0 {
-			t.Errorf("healthy leg %d recorded %d retries", i, rp.Retries())
+		if i != faulted && rp.Stats().Retries != 0 {
+			t.Errorf("healthy leg %d recorded %d retries", i, rp.Stats().Retries)
 		}
 	}
 	assertNoLineFallbacks(t, devs)

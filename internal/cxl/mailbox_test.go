@@ -206,8 +206,8 @@ func TestLinkRetryRecoversTransientCorruption(t *testing.T) {
 	if out != in {
 		t.Error("data corrupted despite retry")
 	}
-	if rp.Retries() != 2 {
-		t.Errorf("retries = %d, want 2", rp.Retries())
+	if rp.Stats().Retries != 2 {
+		t.Errorf("retries = %d, want 2", rp.Stats().Retries)
 	}
 }
 
@@ -227,8 +227,8 @@ func TestLinkRetryGivesUpOnPersistentFault(t *testing.T) {
 	if !ok || pe.Why == "" {
 		t.Errorf("err = %v, want PortError(uncorrectable)", err)
 	}
-	if rp.Retries() < maxLinkRetries {
-		t.Errorf("retries = %d, want >= %d", rp.Retries(), maxLinkRetries)
+	if rp.Stats().Retries < maxLinkRetries {
+		t.Errorf("retries = %d, want >= %d", rp.Stats().Retries, maxLinkRetries)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"cxlpmem/internal/interconnect"
 	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/telemetry"
 )
 
 // LinkState tracks root-port link training.
@@ -81,6 +82,10 @@ type PortStats struct {
 type portHooks struct {
 	trace func(Flit)
 	fault func(Flit) Flit
+	// rec, when non-nil, is the flight recorder that force-captures
+	// CRC-failed flits regardless of sampling (see telemetry.go). It is
+	// set only on the tap-built hook variants, never by SetFlitTrace.
+	rec *telemetry.FlightRecorder
 }
 
 // portSession is the immutable snapshot of link training state: which
@@ -129,10 +134,15 @@ type RootPort struct {
 	name string
 	link *interconnect.Link
 
-	// mu serialises the cold path only: Attach/Detach and hook swaps.
+	// mu serialises the cold path only: Attach/Detach, hook swaps, and
+	// telemetry attachment.
 	mu    sync.Mutex
 	sess  atomic.Pointer[portSession]
 	hooks atomic.Pointer[portHooks]
+	// tap is the telemetry snapshot (nil when telemetry is off); tapCfg
+	// is its cold-path wiring, guarded by mu. See telemetry.go.
+	tap    atomic.Pointer[portTap]
+	tapCfg *tapConfig
 
 	doorbells atomic.Int64
 	harvested atomic.Int64
@@ -178,17 +188,6 @@ func (rp *RootPort) Stats() PortStats {
 	return st
 }
 
-// Retries reports how many link-level retransmissions occurred, summed
-// over all virtual channels.
-//
-// Deprecated: use Stats().Retries.
-func (rp *RootPort) Retries() int64 { return rp.Stats().Retries }
-
-// VCStats snapshots the per-virtual-channel issue and retry counters.
-//
-// Deprecated: use Stats().VCs.
-func (rp *RootPort) VCStats() [NumVCs]VCStat { return rp.Stats().VCs }
-
 // Name returns the port name.
 func (rp *RootPort) Name() string { return rp.name }
 
@@ -224,6 +223,9 @@ func (rp *RootPort) setHooks(mutate func(*portHooks)) {
 	}
 	mutate(&h)
 	rp.hooks.Store(&h)
+	// Hook swaps must propagate into the prebuilt telemetry variants so
+	// sampled transactions keep chaining the user's current trace.
+	rp.rebuildTapLocked()
 }
 
 // SetFlitTrace installs (or, with nil, removes) the hook that receives
@@ -350,7 +352,7 @@ func (rp *RootPort) syncTransact(kind uint8, op MemOpcode, addr, mask uint64, ou
 			rp.doorbells.Add(1)
 			var err error
 			s, serr := rp.ringSession()
-			hk := rp.hooks.Load()
+			hk, hist, t0 := rp.tapPick(t, rp.hooks.Load(), kind, op, false)
 			switch {
 			case serr != nil:
 				err = portErr(rp.name, op.String(), addr, ErrLinkDown, "link down")
@@ -360,6 +362,9 @@ func (rp *RootPort) syncTransact(kind uint8, op MemOpcode, addr, mask uint64, ou
 				err = rp.processSingle(r, slot, t, s, hk, r.tagAt(t))
 			}
 			slot.seq.Store(t + RingSlots)
+			if hist != nil {
+				hist.RecordSince(t0)
+			}
 			return err
 		}
 		d.kind, d.noCQ, d.op, d.addr, d.mask, d.out, d.p = kind, true, op, addr, mask, out, p
@@ -524,6 +529,7 @@ func (rp *RootPort) sendHeader(s *portSession, h *portHooks, r *vcRing, req *Mem
 		if err = DecodeReqInto(decoded, &f); err == nil {
 			return nil
 		}
+		h.flitErr(&f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, req.Opcode.String(), req.Addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())
@@ -547,6 +553,7 @@ func (rp *RootPort) moveData(s *portSession, h *portHooks, r *vcRing, f *Flit, o
 			}
 			return nil
 		}
+		h.flitErr(f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error on data flit: "+err.Error())
@@ -566,6 +573,7 @@ func (rp *RootPort) recvResp(s *portSession, h *portHooks, r *vcRing, op MemOpco
 		if err = DecodeRespInto(out, &f); err == nil {
 			break
 		}
+		h.flitErr(&f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())

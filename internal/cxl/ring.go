@@ -344,7 +344,10 @@ func (rp *RootPort) flushVC(r *vcRing) {
 func (rp *RootPort) processSpan(r *vcRing, h, t uint64) {
 	rp.doorbells.Add(1)
 	s, serr := rp.ringSession()
-	hk := rp.hooks.Load()
+	hk, hist, t0 := rp.tapPick(h, rp.hooks.Load(), descLine, OpMemRd, true)
+	if hist != nil {
+		defer hist.RecordSince(t0)
+	}
 	if t == h+1 {
 		// Single descriptor (the synchronous submit+flush+wait shape):
 		// process on the stack, skipping the batch scratch entirely.
@@ -596,6 +599,7 @@ func (rp *RootPort) moveSQ(s *portSession, h *portHooks, r *vcRing, f *Flit, ent
 		if err == nil {
 			return n, nil
 		}
+		h.flitErr(f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return 0, err
@@ -613,6 +617,7 @@ func (rp *RootPort) moveCQ(s *portSession, h *portHooks, r *vcRing, f *Flit, ent
 		if err == nil {
 			return n, nil
 		}
+		h.flitErr(f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return 0, err
@@ -629,9 +634,12 @@ func (rp *RootPort) moveReq(s *portSession, h *portHooks, r *vcRing, f *Flit, d 
 	for attempt := 0; ; attempt++ {
 		EncodeReqFieldsInto(f, d.op, tag, d.addr, d.mask, &d.data)
 		rp.moveFlit(h, f)
-		if err := DecodeReqInto(dst, f); err == nil {
+		err := DecodeReqInto(dst, f)
+		if err == nil {
 			return nil
-		} else if attempt >= maxLinkRetries {
+		}
+		h.flitErr(f)
+		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return err
 		}
@@ -653,6 +661,7 @@ func (rp *RootPort) moveRData(s *portSession, h *portHooks, r *vcRing, f *Flit, 
 			}
 			return nil
 		}
+		h.flitErr(f)
 		if attempt >= maxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, "MemRd", 0, ErrUncorrectable, "uncorrectable link error on data flit: "+err.Error())

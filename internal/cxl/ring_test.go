@@ -398,7 +398,7 @@ func TestRingZeroAllocSteadyState(t *testing.T) {
 }
 
 // TestPortStatsSnapshot checks the folded PortStats accessor against
-// known traffic and the deprecated delegates against the snapshot.
+// known traffic.
 func TestPortStatsSnapshot(t *testing.T) {
 	rp := ringPort(t)
 	var line [LineSize]byte
@@ -430,10 +430,11 @@ func TestPortStatsSnapshot(t *testing.T) {
 	if vcIssued != st.Issued {
 		t.Errorf("per-VC issued sums to %d, total says %d", vcIssued, st.Issued)
 	}
-	if got := rp.Retries(); got != st.Retries {
-		t.Errorf("deprecated Retries() = %d, Stats().Retries = %d", got, st.Retries)
+	var vcRetries int64
+	for _, vc := range st.VCs {
+		vcRetries += vc.Retries
 	}
-	if got := rp.VCStats(); got != st.VCs {
-		t.Errorf("deprecated VCStats() diverges from Stats().VCs")
+	if vcRetries != st.Retries {
+		t.Errorf("per-VC retries sum to %d, total says %d", vcRetries, st.Retries)
 	}
 }

@@ -37,6 +37,9 @@ type Switch struct {
 	// snoopers is the published vPPB -> host snoop handler table for the
 	// CXL 3.0 back-invalidate channel (see Snoop).
 	snoopers atomic.Pointer[map[string]Snooper]
+	// snoopTrace, when set, observes every BISnp/BIRsp flit crossing the
+	// switch — the telemetry plane's always-on snoop capture.
+	snoopTrace atomic.Pointer[func(Flit)]
 }
 
 // NewSwitch builds an empty switch.
@@ -266,6 +269,17 @@ func (sw *Switch) RegisterSnooper(vppb string, s Snooper) error {
 	return nil
 }
 
+// SetSnoopTrace installs (or, with nil, removes) a hook observing every
+// back-invalidate flit the switch routes. Safe to swap while snoops are
+// in flight — each snoop sees the hook it loaded at entry.
+func (sw *Switch) SetSnoopTrace(f func(Flit)) {
+	if f == nil {
+		sw.snoopTrace.Store(nil)
+		return
+	}
+	sw.snoopTrace.Store(&f)
+}
+
 // Snoop routes one back-invalidate snoop upstream through a vPPB and
 // returns the host's response. Both messages genuinely round-trip the
 // flit codec — encode, wire, CRC check, decode — so the snoop channel
@@ -281,8 +295,12 @@ func (sw *Switch) Snoop(vppb string, req BISnp) (BIRsp, error) {
 	if !ok {
 		return BIRsp{}, fmt.Errorf("cxl: switch %s: no snooper on vPPB %s", sw.name, vppb)
 	}
+	tr := sw.snoopTrace.Load()
 	var f Flit
 	EncodeBISnpInto(&f, &req)
+	if tr != nil {
+		(*tr)(f)
+	}
 	var decoded BISnp
 	if err := DecodeBISnpInto(&decoded, &f); err != nil {
 		return BIRsp{}, fmt.Errorf("cxl: switch %s: snoop to %s: %w", sw.name, vppb, err)
@@ -290,6 +308,9 @@ func (sw *Switch) Snoop(vppb string, req BISnp) (BIRsp, error) {
 	resp := s.HandleBISnp(decoded)
 	resp.Tag = decoded.Tag
 	EncodeBIRspInto(&f, &resp)
+	if tr != nil {
+		(*tr)(f)
+	}
 	var out BIRsp
 	if err := DecodeBIRspInto(&out, &f); err != nil {
 		return BIRsp{}, fmt.Errorf("cxl: switch %s: snoop response from %s: %w", sw.name, vppb, err)

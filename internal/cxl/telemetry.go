@@ -1,0 +1,247 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"strconv"
+	"time"
+
+	"cxlpmem/internal/telemetry"
+)
+
+// Telemetry attachment for the port data path.
+//
+// The design constraint is the CI-gated overhead budget: tier-1 benches
+// with telemetry enabled must stay within 3% of disabled. Per-flit
+// bookkeeping cannot meet that (a 4 KiB burst moves ~66 flits), so the
+// port taps per *transaction*: a per-VC counter picks every N-th
+// doorbell claim, and only that sampled transaction pays the clock
+// reads and rides hooks whose trace chains into the flight recorder.
+// Unsampled transactions see hooks identical to the user's own — their
+// only extra cost is one atomic pointer load and one counter add —
+// except that CRC-failed flits are force-recorded regardless of
+// sampling (flitErr below), so the flight recorder never misses the
+// wire history that health events are made of. With telemetry disabled
+// the data path pays a single nil pointer load.
+//
+// The sampled/unsampled hook variants are prebuilt off the hot path:
+// EnableTelemetry and every SetFlitTrace/SetFault swap rebuild them
+// under rp.mu, and the data path picks one with no allocation.
+
+// DefaultSampleN is the default transaction sampling rate (1-in-N).
+const DefaultSampleN = 64
+
+// TelemetryOptions configures a port's telemetry attachment.
+type TelemetryOptions struct {
+	// SampleN samples every N-th transaction per VC (rounded up to a
+	// power of two; 0 takes DefaultSampleN). 1 samples everything.
+	SampleN int
+	// RecorderSlots is the flight-recorder ring depth (0 takes
+	// telemetry.DefaultRecorderSlots).
+	RecorderSlots int
+}
+
+// tapConfig is the per-port telemetry wiring that survives hook swaps:
+// the sampling mask, the flight recorder, and the latency histograms.
+type tapConfig struct {
+	mask     uint64
+	rec      *telemetry.FlightRecorder
+	latRead  *telemetry.Histogram
+	latWrite *telemetry.Histogram
+	latBurst *telemetry.Histogram
+	latFlush *telemetry.Histogram
+}
+
+// portTap is the hot-path telemetry snapshot: the config plus the two
+// prebuilt hook variants. Published atomically beside rp.hooks; the
+// data path loads it once per transaction.
+type portTap struct {
+	tapConfig
+	sampled   *portHooks
+	unsampled *portHooks
+}
+
+// histFor picks the latency histogram for a transaction shape.
+func (t *portTap) histFor(kind uint8, op MemOpcode) *telemetry.Histogram {
+	if kind == descBurst {
+		return t.latBurst
+	}
+	if op == OpMemRd {
+		return t.latRead
+	}
+	return t.latWrite
+}
+
+// flitRecordOf peeks the flit header without validating it — kind and
+// opcode bytes, tag, and address straight from the wire image. Cheap
+// enough for the recording path; a corrupted flit yields a garbled
+// record, which is exactly what should land in a flight recorder.
+func flitRecordOf(f *Flit, errFlag bool) telemetry.FlitRecord {
+	return telemetry.FlitRecord{
+		Kind: f.raw[0],
+		Op:   f.raw[1],
+		Tag:  binary.LittleEndian.Uint16(f.raw[2:4]),
+		Addr: binary.LittleEndian.Uint64(f.raw[8:16]),
+		Err:  errFlag,
+	}
+}
+
+// flitErr force-records a CRC-failed flit, regardless of sampling. The
+// retry loops call it on every failed decode; with telemetry off (nil
+// hooks or no recorder) it is a nil check.
+func (h *portHooks) flitErr(f *Flit) {
+	if h != nil && h.rec != nil {
+		h.rec.Record(flitRecordOf(f, true))
+	}
+}
+
+// rebuildTapLocked derives the sampled/unsampled hook variants from the
+// current user hooks and publishes them. Callers hold rp.mu.
+func (rp *RootPort) rebuildTapLocked() {
+	cfg := rp.tapCfg
+	if cfg == nil {
+		rp.tap.Store(nil)
+		return
+	}
+	var base portHooks
+	if cur := rp.hooks.Load(); cur != nil {
+		base = *cur
+	}
+	unsampled := base
+	unsampled.rec = cfg.rec
+	sampled := unsampled
+	rec := cfg.rec
+	if user := base.trace; user != nil {
+		sampled.trace = func(f Flit) {
+			user(f)
+			rec.Record(flitRecordOf(&f, false))
+		}
+	} else {
+		sampled.trace = func(f Flit) { rec.Record(flitRecordOf(&f, false)) }
+	}
+	rp.tap.Store(&portTap{tapConfig: *cfg, sampled: &sampled, unsampled: &unsampled})
+}
+
+// tapPick selects the hook variant for one transaction and, when the
+// transaction is sampled, returns the histogram to record into and the
+// start time. The sampling clock is the transaction's already-claimed
+// ring position — monotonically increasing per VC — so the unsampled
+// fast path costs one atomic pointer load and a mask test, no extra
+// atomic traffic.
+func (rp *RootPort) tapPick(pos uint64, hk *portHooks, kind uint8, op MemOpcode, flush bool) (*portHooks, *telemetry.Histogram, time.Time) {
+	tap := rp.tap.Load()
+	if tap == nil {
+		return hk, nil, time.Time{}
+	}
+	if (pos+1)&tap.mask != 0 {
+		// Phase-shifted so position 0 — the first transaction after
+		// enable — is not unconditionally sampled at any rate.
+		return tap.unsampled, nil, time.Time{}
+	}
+	if flush {
+		return tap.sampled, tap.latFlush, time.Now()
+	}
+	return tap.sampled, tap.histFor(kind, op), time.Now()
+}
+
+// EnableTelemetry attaches the port to a registry: latency histograms
+// (cxl_port_latency_ns, op=read|write|burst|flush), a collector for the
+// ring/link counters (cxl_port_*_total and per-VC cxl_vc_*_total), and
+// a flight recorder fed from the trace hook slot per the sampling
+// policy above. Returns the recorder (also reachable via
+// FlightRecorder). Call once per port per registry — registration is
+// append-only.
+func (rp *RootPort) EnableTelemetry(reg *telemetry.Registry, opts TelemetryOptions) *telemetry.FlightRecorder {
+	n := uint64(DefaultSampleN)
+	if opts.SampleN > 0 {
+		n = uint64(opts.SampleN)
+	}
+	pow := uint64(1)
+	for pow < n {
+		pow <<= 1
+	}
+	port := telemetry.Labels("port", rp.name)
+	cfg := &tapConfig{
+		mask:     pow - 1,
+		rec:      telemetry.NewFlightRecorder(opts.RecorderSlots),
+		latRead:  reg.NewHistogram("cxl_port_latency_ns", telemetry.Labels("port", rp.name, "op", "read")),
+		latWrite: reg.NewHistogram("cxl_port_latency_ns", telemetry.Labels("port", rp.name, "op", "write")),
+		latBurst: reg.NewHistogram("cxl_port_latency_ns", telemetry.Labels("port", rp.name, "op", "burst")),
+		latFlush: reg.NewHistogram("cxl_port_latency_ns", telemetry.Labels("port", rp.name, "op", "flush")),
+	}
+	var vcLabels [NumVCs]string
+	for i := range vcLabels {
+		vcLabels[i] = telemetry.Labels("port", rp.name, "vc", strconv.Itoa(i))
+	}
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		st := rp.Stats()
+		e.Counter("cxl_port_issued_total", port, st.Issued)
+		e.Counter("cxl_port_flushed_total", port, st.Flushed)
+		e.Counter("cxl_port_retries_total", port, st.Retries)
+		e.Counter("cxl_port_doorbells_total", port, st.Doorbells)
+		e.Counter("cxl_port_harvested_total", port, st.Harvested)
+		e.Counter("cxl_port_cq_overflows_total", port, st.CQOverflows)
+		for i := range st.VCs {
+			e.Counter("cxl_vc_issued_total", vcLabels[i], st.VCs[i].Issued)
+			e.Counter("cxl_vc_retries_total", vcLabels[i], st.VCs[i].Retries)
+		}
+	})
+	rp.mu.Lock()
+	rp.tapCfg = cfg
+	rp.rebuildTapLocked()
+	rp.mu.Unlock()
+	return cfg.rec
+}
+
+// DisableTelemetry detaches the data path from the telemetry plane (the
+// registry keeps the registered metrics; they simply stop moving).
+func (rp *RootPort) DisableTelemetry() {
+	rp.mu.Lock()
+	rp.tapCfg = nil
+	rp.tap.Store(nil)
+	rp.mu.Unlock()
+}
+
+// FlightRecorder returns the port's flight recorder, or nil when
+// telemetry is not enabled.
+func (rp *RootPort) FlightRecorder() *telemetry.FlightRecorder {
+	if t := rp.tap.Load(); t != nil {
+		return t.rec
+	}
+	return nil
+}
+
+// EnableTelemetry enables telemetry on every leg port of the set with
+// the same options, so a striped data path is observed end to end
+// (each leg keeps its own histograms, counters and flight recorder,
+// labelled by port name).
+func (s *InterleaveSet) EnableTelemetry(reg *telemetry.Registry, opts TelemetryOptions) {
+	for _, rp := range s.Ports() {
+		rp.EnableTelemetry(reg, opts)
+	}
+}
+
+// RegisterDeviceMetrics exposes a Type-3 endpoint's transaction
+// counters through the registry.
+func RegisterDeviceMetrics(reg *telemetry.Registry, d *Type3Device) {
+	labels := telemetry.Labels("dev", d.Name())
+	st := d.Stats()
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		e.Counter("cxl_dev_reads_total", labels, st.Reads.Load())
+		e.Counter("cxl_dev_writes_total", labels, st.Writes.Load())
+		e.Counter("cxl_dev_partial_writes_total", labels, st.PartialWrites.Load())
+		e.Counter("cxl_dev_invalidates_total", labels, st.Invalidates.Load())
+		e.Counter("cxl_dev_errors_total", labels, st.Errors.Load())
+		e.Counter("cxl_dev_read_bursts_total", labels, st.ReadBursts.Load())
+		e.Counter("cxl_dev_write_bursts_total", labels, st.WriteBursts.Load())
+		e.Counter("cxl_dev_burst_lines_total", labels, st.BurstLines.Load())
+		e.Counter("cxl_dev_line_fallbacks_total", labels, st.LineFallbacks.Load())
+	})
+}
+
+// RecordSnoops wires a switch's back-invalidate channel into a flight
+// recorder: every BISnp/BIRsp flit crossing the switch is captured
+// unconditionally (snoops are rare and diagnostic gold, so they are
+// never sampled away).
+func RecordSnoops(sw *Switch, rec *telemetry.FlightRecorder) {
+	sw.SetSnoopTrace(func(f Flit) { rec.Record(flitRecordOf(&f, false)) })
+}

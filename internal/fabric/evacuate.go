@@ -140,5 +140,7 @@ func (m *Manager) migrateLocked(t *Tenant, live *ExtentInfo, src, dstPool *pool,
 		return err
 	}
 	release(src, cxl.Extent{Base: oldBase, Size: live.Size})
+	m.evacuatedExtents.Add(1)
+	m.evacuatedBytes.Add(int64(live.Size))
 	return nil
 }

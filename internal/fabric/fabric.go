@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/memdev"
@@ -162,6 +163,15 @@ type Manager struct {
 	tenants map[string]*Tenant
 	order   []string // registration order, for deterministic listings
 	nextTag uint64
+
+	// Cumulative control-plane counters, exposed via RegisterMetrics.
+	// Atomics so the telemetry gather never takes m.mu.
+	grantedExtents   atomic.Int64
+	grantedBytes     atomic.Int64
+	releasedExtents  atomic.Int64
+	reclaimedExtents atomic.Int64
+	evacuatedExtents atomic.Int64
+	evacuatedBytes   atomic.Int64
 }
 
 // pool is one MLD the manager can grant from. Grants prefer pools in
@@ -487,6 +497,8 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 		granted = append(granted, *info)
 		remaining -= poolExt.Size
 	}
+	m.grantedExtents.Add(int64(len(granted)))
+	m.grantedBytes.Add(int64(want))
 	for _, e := range granted {
 		t.push(Event{Type: EventAddCapacity, Extent: e})
 	}
@@ -561,13 +573,18 @@ func (m *Manager) releaseCapacity(t *Tenant, ext cxl.DCDExtent) error {
 	}
 	switch rec.State {
 	case ExtentActive:
-		return m.dropLocked(t, rec, true)
+		if err := m.dropLocked(t, rec, true); err != nil {
+			return err
+		}
+		m.releasedExtents.Add(1)
+		return nil
 	case ExtentRevoked:
 		if err := t.space.Free(cxl.Extent{Base: rec.DPA, Size: rec.Size}); err != nil {
 			return err
 		}
 		delete(t.extents, rec.Tag)
 		publishTableLocked(t)
+		m.releasedExtents.Add(1)
 		return nil
 	default:
 		return fmt.Errorf("fabric: tenant %s: extent #%d is %s, not releasable", t.name, rec.Tag, rec.State)
@@ -666,6 +683,7 @@ func (m *Manager) ForceReclaim(tenant string) ([]ExtentInfo, error) {
 			return revoked, err
 		}
 	}
+	m.reclaimedExtents.Add(int64(len(revoked)))
 	for _, e := range revoked {
 		t.push(Event{Type: EventForcedReclaim, Extent: e})
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/telemetry"
 	"cxlpmem/internal/units"
 )
 
@@ -127,6 +128,10 @@ type Event struct {
 	// From/To carry the transition for state-change events.
 	From, To State
 	Detail   string
+	// Flits is the flight-recorder dump captured at a Degraded or
+	// Evacuating transition — the wire history that preceded the health
+	// event (nil when no recorder is attached to the device).
+	Flits []telemetry.FlitRecord
 }
 
 func (e Event) String() string {
@@ -136,6 +141,9 @@ func (e Event) String() string {
 	case EventScrubPass:
 		return fmt.Sprintf("ras#%d %s: patrol pass complete (%s)", e.Seq, e.Device, e.Detail)
 	case EventStateChange:
+		if len(e.Flits) > 0 {
+			return fmt.Sprintf("ras#%d %s: %s -> %s (%s) [%d flits captured]", e.Seq, e.Device, e.From, e.To, e.Detail, len(e.Flits))
+		}
 		return fmt.Sprintf("ras#%d %s: %s -> %s (%s)", e.Seq, e.Device, e.From, e.To, e.Detail)
 	default:
 		return fmt.Sprintf("ras#%d %s: %s %s", e.Seq, e.Device, e.Kind, e.Detail)
@@ -199,6 +207,10 @@ type device struct {
 	name  string
 	media memdev.Device
 	opts  DeviceOptions
+
+	// dump, when attached, snapshots the owning port's flight recorder;
+	// transitions into Degraded/Evacuating capture it into the event.
+	dump func() []telemetry.FlitRecord
 
 	health atomic.Pointer[Health]
 
@@ -377,8 +389,48 @@ func (p *Plane) transitionLocked(d *device, next State, detail string) error {
 		d.basePoisoned = d.poisonedLines
 	}
 	d.publishLocked(next)
-	p.emitLocked(Event{Device: d.name, Kind: EventStateChange, From: cur, To: next, Detail: detail})
+	e := Event{Device: d.name, Kind: EventStateChange, From: cur, To: next, Detail: detail}
+	// A device entering Degraded or Evacuating is the moment the wire
+	// history matters: snapshot the attached flight recorder so the
+	// event carries what preceded the health change.
+	if (next == Degraded || next == Evacuating) && d.dump != nil {
+		e.Flits = d.dump()
+	}
+	p.emitLocked(e)
 	return nil
+}
+
+// AttachFlightRecorder wires a flight-recorder dump hook to a device:
+// every transition into Degraded or Evacuating captures dump() into the
+// state-change event. Typically dump is the Dump method of the owning
+// port's recorder (cxl.RootPort.FlightRecorder).
+func (p *Plane) AttachFlightRecorder(name string, dump func() []telemetry.FlitRecord) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.devs[name]
+	if d == nil {
+		return fmt.Errorf("ras: unknown device %s", name)
+	}
+	d.dump = dump
+	return nil
+}
+
+// RegisterMetrics exposes every registered device's health state,
+// lifetime error counters, and patrol progress through the registry.
+func (p *Plane) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		for _, name := range p.Devices() {
+			h := p.Health(name)
+			labels := telemetry.Labels("dev", name)
+			e.Gauge("ras_health_state", labels, float64(h.State))
+			e.Counter("ras_correctable_total", labels, h.Counters.Correctable)
+			e.Counter("ras_uncorrectable_total", labels, h.Counters.Uncorrectable)
+			e.Counter("ras_link_retries_total", labels, h.Counters.LinkRetries)
+			e.Gauge("ras_poisoned_lines", labels, float64(h.PoisonedLines))
+			e.Counter("ras_scrubbed_bytes_total", labels, h.ScrubbedBytes)
+			e.Counter("ras_scrub_passes_total", labels, h.Passes)
+		}
+	})
 }
 
 // Evaluate runs the threshold policy for one device: a Healthy device

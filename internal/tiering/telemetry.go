@@ -1,0 +1,22 @@
+package tiering
+
+import (
+	"strconv"
+
+	"cxlpmem/internal/telemetry"
+)
+
+// RegisterMetrics exposes the tiering manager's migration counters and
+// per-tier occupancy through the registry. The gather takes the
+// manager's mutex (Stats) — exposition is a cold path.
+func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		st := m.Stats()
+		e.Counter("tiering_promotions_total", "", int64(st.Promotions))
+		e.Counter("tiering_demotions_total", "", int64(st.Demotions))
+		e.Counter("tiering_migrated_bytes_total", "", st.BytesMigrated)
+		for i, pages := range st.PagesPerTier {
+			e.Gauge("tiering_tier_pages", telemetry.Labels("tier", strconv.Itoa(i)), float64(pages))
+		}
+	})
+}

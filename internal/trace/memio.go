@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"fmt"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/telemetry"
+)
+
+// IORecorder wraps a cxl.MemIO and logs every access that crosses it,
+// so traces capture the ring path the fabric actually drives (line and
+// burst flits, submit/flush batches) rather than a flat byte device.
+// Asynchronous submissions are logged at submit time — that is when the
+// descriptor enters the ring.
+type IORecorder struct {
+	inner cxl.MemIO
+	stream
+}
+
+var _ cxl.MemIO = (*IORecorder)(nil)
+
+// NewIORecorder wraps io, keeping at most limit events (0 = 1<<20).
+func NewIORecorder(io cxl.MemIO, limit int) (*IORecorder, error) {
+	if io == nil {
+		return nil, fmt.Errorf("trace: nil MemIO")
+	}
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &IORecorder{inner: io, stream: stream{limit: limit}}, nil
+}
+
+// ReadLine implements cxl.MemIO, recording the access.
+func (r *IORecorder) ReadLine(hpa uint64, out *[cxl.LineSize]byte) error {
+	if err := r.inner.ReadLine(hpa, out); err != nil {
+		return err
+	}
+	r.log(OpRead, int64(hpa), cxl.LineSize)
+	return nil
+}
+
+// WriteLine implements cxl.MemIO, recording the access.
+func (r *IORecorder) WriteLine(hpa uint64, data *[cxl.LineSize]byte) error {
+	if err := r.inner.WriteLine(hpa, data); err != nil {
+		return err
+	}
+	r.log(OpWrite, int64(hpa), cxl.LineSize)
+	return nil
+}
+
+// ReadBurst implements cxl.MemIO, recording the access.
+func (r *IORecorder) ReadBurst(hpa uint64, p []byte) error {
+	if err := r.inner.ReadBurst(hpa, p); err != nil {
+		return err
+	}
+	r.log(OpRead, int64(hpa), len(p))
+	return nil
+}
+
+// WriteBurst implements cxl.MemIO, recording the access.
+func (r *IORecorder) WriteBurst(hpa uint64, p []byte) error {
+	if err := r.inner.WriteBurst(hpa, p); err != nil {
+		return err
+	}
+	r.log(OpWrite, int64(hpa), len(p))
+	return nil
+}
+
+// ReadAt implements cxl.MemIO, recording the access.
+func (r *IORecorder) ReadAt(p []byte, off int64) error {
+	if err := r.inner.ReadAt(p, off); err != nil {
+		return err
+	}
+	r.log(OpRead, off, len(p))
+	return nil
+}
+
+// WriteAt implements cxl.MemIO, recording the access.
+func (r *IORecorder) WriteAt(p []byte, off int64) error {
+	if err := r.inner.WriteAt(p, off); err != nil {
+		return err
+	}
+	r.log(OpWrite, off, len(p))
+	return nil
+}
+
+// SubmitRead implements cxl.MemIO, recording at submit time.
+func (r *IORecorder) SubmitRead(hpa uint64, out *[cxl.LineSize]byte) (*cxl.Completion, error) {
+	c, err := r.inner.SubmitRead(hpa, out)
+	if err != nil {
+		return c, err
+	}
+	r.log(OpRead, int64(hpa), cxl.LineSize)
+	return c, nil
+}
+
+// SubmitWrite implements cxl.MemIO, recording at submit time.
+func (r *IORecorder) SubmitWrite(hpa uint64, data *[cxl.LineSize]byte) (*cxl.Completion, error) {
+	c, err := r.inner.SubmitWrite(hpa, data)
+	if err != nil {
+		return c, err
+	}
+	r.log(OpWrite, int64(hpa), cxl.LineSize)
+	return c, nil
+}
+
+// Flush implements cxl.MemIO.
+func (r *IORecorder) Flush() { r.inner.Flush() }
+
+// Harvest implements cxl.MemIO.
+func (r *IORecorder) Harvest(dst []cxl.Completed) int { return r.inner.Harvest(dst) }
+
+// RegisterMetrics exposes the recorder's locality and reuse summary as
+// live telemetry gauges instead of a one-off Analyze report: each
+// gather re-folds the retained window at the given page granule
+// (0 = 4 KiB). Gauges, not counters — the window is bounded, so the
+// figures describe the recent stream, not all time. Available on both
+// recorder flavours.
+func (s *stream) RegisterMetrics(reg *telemetry.Registry, name string, pageSize int64) {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	labels := telemetry.Labels("trace", name)
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		a, err := Analyze(s.Events(), pageSize, 1)
+		if err != nil {
+			return
+		}
+		e.Gauge("trace_recorded_events", labels, float64(a.Events))
+		e.Gauge("trace_read_bytes", labels, float64(a.BytesRead))
+		e.Gauge("trace_write_bytes", labels, float64(a.BytesWrite))
+		e.Gauge("trace_read_fraction", labels, a.ReadFraction)
+		e.Gauge("trace_sequential_fraction", labels, a.SequentialFraction)
+		e.Gauge("trace_unique_pages", labels, float64(a.UniquePages))
+		if len(a.HottestPages) > 0 {
+			e.Gauge("trace_hottest_page_accesses", labels, float64(a.HottestPages[0].Accesses))
+		}
+	})
+}
+
+// ReplayIO drives a recorded stream against a MemIO data path,
+// re-performing every access through the rings (reads discard data,
+// writes store a deterministic fill). It returns the total bytes moved.
+func ReplayIO(events []Event, dst cxl.MemIO) (int64, error) {
+	if dst == nil {
+		return 0, fmt.Errorf("trace: nil destination")
+	}
+	var moved int64
+	buf := make([]byte, 0, 4096)
+	for _, e := range events {
+		if cap(buf) < e.Len {
+			buf = make([]byte, e.Len)
+		}
+		b := buf[:e.Len]
+		switch e.Op {
+		case OpWrite:
+			for i := range b {
+				b[i] = byte(e.Seq)
+			}
+			if err := dst.WriteAt(b, e.Off); err != nil {
+				return moved, err
+			}
+		default:
+			if err := dst.ReadAt(b, e.Off); err != nil {
+				return moved, err
+			}
+		}
+		moved += int64(e.Len)
+	}
+	return moved, nil
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"testing"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/telemetry"
+)
+
+func ioRecorder(t *testing.T) *IORecorder {
+	t.Helper()
+	r, err := NewIORecorder(cxl.NewDeviceIO(device(t)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIORecorderCapture(t *testing.T) {
+	r := ioRecorder(t)
+
+	var line [cxl.LineSize]byte
+	for i := range line {
+		line[i] = byte(i)
+	}
+	if err := r.WriteLine(4096, &line); err != nil {
+		t.Fatal(err)
+	}
+	var got [cxl.LineSize]byte
+	if err := r.ReadLine(4096, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != line {
+		t.Fatal("line did not round-trip through the recorder")
+	}
+
+	burst := make([]byte, 4*cxl.LineSize)
+	if err := r.WriteBurst(8192, burst); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadBurst(8192, burst); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := r.SubmitWrite(16384, &line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := r.Events()
+	want := []struct {
+		op  Op
+		off int64
+		n   int
+	}{
+		{OpWrite, 4096, cxl.LineSize},
+		{OpRead, 4096, cxl.LineSize},
+		{OpWrite, 8192, 4 * cxl.LineSize},
+		{OpRead, 8192, 4 * cxl.LineSize},
+		{OpWrite, 16384, cxl.LineSize},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("recorded %d events, want %d", len(events), len(want))
+	}
+	for i, w := range want {
+		e := events[i]
+		if e.Op != w.op || e.Off != w.off || e.Len != w.n {
+			t.Fatalf("event %d = %v %d+%d, want %v %d+%d", i, e.Op, e.Off, e.Len, w.op, w.off, w.n)
+		}
+	}
+}
+
+func TestIORecorderErrorNotLogged(t *testing.T) {
+	r := ioRecorder(t)
+	var line [cxl.LineSize]byte
+	if err := r.WriteLine(7, &line); err == nil {
+		t.Fatal("unaligned line write should fail")
+	}
+	if n := len(r.Events()); n != 0 {
+		t.Fatalf("failed access was logged: %d events", n)
+	}
+}
+
+func TestIORecorderMetrics(t *testing.T) {
+	r := ioRecorder(t)
+	reg := telemetry.NewRegistry()
+	r.RegisterMetrics(reg, "t0", 0)
+
+	var line [cxl.LineSize]byte
+	for i := 0; i < 8; i++ {
+		if err := r.WriteLine(uint64(i*cxl.LineSize), &line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 24; i++ {
+		if err := r.ReadLine(uint64((i%8)*cxl.LineSize), &line); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		if s.Kind == telemetry.KindGauge {
+			got[s.Name] = s.Value
+		}
+	}
+	if got["trace_recorded_events"] != 32 {
+		t.Fatalf("trace_recorded_events = %v, want 32", got["trace_recorded_events"])
+	}
+	if got["trace_read_fraction"] != 0.75 {
+		t.Fatalf("trace_read_fraction = %v, want 0.75", got["trace_read_fraction"])
+	}
+	// 8 distinct lines all inside one 4 KiB page.
+	if got["trace_unique_pages"] != 1 {
+		t.Fatalf("trace_unique_pages = %v, want 1", got["trace_unique_pages"])
+	}
+	if got["trace_hottest_page_accesses"] != 32 {
+		t.Fatalf("trace_hottest_page_accesses = %v, want 32", got["trace_hottest_page_accesses"])
+	}
+}
+
+func TestReplayIO(t *testing.T) {
+	r := ioRecorder(t)
+	var line [cxl.LineSize]byte
+	if err := r.WriteLine(0, &line); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2*cxl.LineSize)
+	if err := r.ReadBurst(0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := cxl.NewDeviceIO(device(t))
+	moved, err := ReplayIO(r.Events(), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cxl.LineSize + 2*cxl.LineSize); moved != want {
+		t.Fatalf("moved %d bytes, want %d", moved, want)
+	}
+}

@@ -42,16 +42,50 @@ type Event struct {
 	Len int
 }
 
+// stream is the shared bounded event log behind both recorder flavours
+// (the memdev.Device wrapper below and the cxl.MemIO wrapper in
+// memio.go).
+type stream struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+	limit  int
+}
+
+func (s *stream) log(op Op, off int64, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) >= s.limit {
+		// Ring behaviour: drop the oldest half to keep recording.
+		copy(s.events, s.events[len(s.events)/2:])
+		s.events = s.events[:len(s.events)-len(s.events)/2]
+	}
+	s.events = append(s.events, Event{Seq: s.seq, Op: op, Off: off, Len: n})
+	s.seq++
+}
+
+// Events returns a copy of the recorded stream.
+func (s *stream) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Reset clears the stream.
+func (s *stream) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = s.events[:0]
+}
+
 // Recorder wraps a device and logs accesses. It implements
 // memdev.Device so it can stand anywhere a device does (a pmemfs mount
 // accessor, a tier, a pool region).
 type Recorder struct {
 	inner memdev.Device
-
-	mu     sync.Mutex
-	events []Event
-	seq    int64
-	limit  int
+	stream
 }
 
 // NewRecorder wraps dev, keeping at most limit events (0 = 1<<20).
@@ -62,7 +96,7 @@ func NewRecorder(dev memdev.Device, limit int) (*Recorder, error) {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	return &Recorder{inner: dev, limit: limit}, nil
+	return &Recorder{inner: dev, stream: stream{limit: limit}}, nil
 }
 
 // Name implements memdev.Device.
@@ -83,18 +117,6 @@ func (r *Recorder) Stats() *memdev.Stats { return r.inner.Stats() }
 // PowerCycle implements memdev.Device.
 func (r *Recorder) PowerCycle() { r.inner.PowerCycle() }
 
-func (r *Recorder) log(op Op, off int64, n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.events) >= r.limit {
-		// Ring behaviour: drop the oldest half to keep recording.
-		copy(r.events, r.events[len(r.events)/2:])
-		r.events = r.events[:len(r.events)-len(r.events)/2]
-	}
-	r.events = append(r.events, Event{Seq: r.seq, Op: op, Off: off, Len: n})
-	r.seq++
-}
-
 // ReadAt implements memdev.Device, recording the access.
 func (r *Recorder) ReadAt(p []byte, off int64) error {
 	if err := r.inner.ReadAt(p, off); err != nil {
@@ -111,22 +133,6 @@ func (r *Recorder) WriteAt(p []byte, off int64) error {
 	}
 	r.log(OpWrite, off, len(p))
 	return nil
-}
-
-// Events returns a copy of the recorded stream.
-func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
-}
-
-// Reset clears the stream.
-func (r *Recorder) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = r.events[:0]
 }
 
 // Analysis summarises a trace for placement decisions.

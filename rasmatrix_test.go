@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/interconnect"
 	"cxlpmem/internal/memdev"
 	"cxlpmem/internal/ras"
+	"cxlpmem/internal/telemetry"
 	"cxlpmem/internal/units"
 )
 
@@ -155,6 +157,22 @@ func runRASMatrixCut(t *testing.T, cut int) {
 		t.Fatal(err)
 	}
 
+	// For the storm-from-the-start cut, telemetry watches the victim's
+	// port with sampling effectively off — the flight recorder then
+	// holds only CRC-failed flits (error capture bypasses sampling) —
+	// and the recorder is attached to the plane, so the Degraded
+	// transition must snapshot the faulty wire history into its event.
+	var victimRec *telemetry.FlightRecorder
+	if cut == 0 {
+		reg := telemetry.NewRegistry()
+		victimRec = legs[rasVictim].port.EnableTelemetry(reg, cxl.TelemetryOptions{
+			SampleN: 1 << 30, RecorderSlots: 4096,
+		})
+		if err := plane.AttachFlightRecorder("victim", victimRec.Dump); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// Static seed over the whole window except the foreground band.
 	base, total := s.Base(), rasWays*rasShare
 	const fgOff, fgLen = uint64(256) << 10, 64 << 10
@@ -274,6 +292,17 @@ func runRASMatrixCut(t *testing.T, cut int) {
 	for i, run := range phases {
 		if i == cut {
 			storm()
+			if victimRec != nil {
+				// Let the foreground writer trip at least one CRC fault
+				// before the pipeline advances toward the Degraded
+				// transition, so the dump assertion below is deterministic.
+				for deadline := time.Now().Add(10 * time.Second); victimRec.Recorded() == 0; {
+					if time.Now().After(deadline) {
+						t.Fatal("storm produced no recorded error flit")
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
 		}
 		if err := run(); err != nil {
 			t.Fatalf("cut=%d phase %d: %v", cut, i, err)
@@ -324,6 +353,32 @@ func runRASMatrixCut(t *testing.T, cut int) {
 		t.Error("foreground band diverged from the writer's mirror")
 	}
 	mirrorMu.Unlock()
+
+	// Flight-recorder dump: the Degraded transition captured the wire
+	// history, and it contains the storm's CRC-failed flits.
+	if victimRec != nil {
+		var degraded ras.Event
+		for _, ev := range plane.Events() {
+			if ev.Device == "victim" && ev.Kind == ras.EventStateChange && ev.To == ras.Degraded {
+				degraded = ev
+			}
+		}
+		if degraded.Device == "" {
+			t.Fatal("no Degraded transition recorded for the victim")
+		}
+		if len(degraded.Flits) == 0 {
+			t.Fatal("Degraded transition captured no flight-recorder dump")
+		}
+		errFlits := 0
+		for _, f := range degraded.Flits {
+			if f.Err {
+				errFlits++
+			}
+		}
+		if errFlits == 0 {
+			t.Error("flight dump at Degraded carries no CRC-failed flits from the storm")
+		}
+	}
 
 	// Truthful plane: the victim's history survived, the replacement
 	// starts clean.

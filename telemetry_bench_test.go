@@ -1,0 +1,67 @@
+package cxlpmem
+
+import (
+	"testing"
+	"time"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/telemetry"
+)
+
+// BenchmarkTelemetryRecord measures the histogram hot path in
+// isolation: one Record into the per-CPU-sharded log-bucketed
+// histogram. This is the cost every sampled transaction pays on top of
+// the wire; the 0 allocs/op figure is CI-gated.
+func BenchmarkTelemetryRecord(b *testing.B) {
+	h := telemetry.NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			h.Record(v)
+			v = v*2621 + 11
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead drives the same line write/read loop as
+// BenchmarkCXLPortLine with the telemetry plane disabled and enabled
+// (default 1-in-64 transaction sampling), so benchstat can report the
+// enabled-vs-disabled delta the CI overhead gate holds to ≤3%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, enable bool) {
+		rp, base := benchCXLPort(b)
+		if enable {
+			reg := telemetry.NewRegistry()
+			rp.EnableTelemetry(reg, cxl.TelemetryOptions{})
+		}
+		var line [cxl.LineSize]byte
+		b.SetBytes(int64(cxl.LineSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			addr := base + uint64(i%1024)*64
+			if err := rp.WriteLine(addr, &line); err != nil {
+				b.Fatal(err)
+			}
+			if err := rp.ReadLine(addr, &line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTelemetryFlightRecord measures the always-on capture path: a
+// flit record claimed into the fixed ring. This is what an error flit
+// costs on top of its retry handling.
+func BenchmarkTelemetryFlightRecord(b *testing.B) {
+	fr := telemetry.NewFlightRecorder(0)
+	rec := telemetry.FlitRecord{Kind: 2, Op: 1, Tag: 7, Addr: 0x1000, When: time.Now().UnixNano()}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			fr.Record(rec)
+		}
+	})
+}

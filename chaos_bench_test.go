@@ -1,0 +1,67 @@
+package cxlpmem
+
+import (
+	"testing"
+
+	"cxlpmem/internal/chaos"
+	"cxlpmem/internal/cxl"
+)
+
+// BenchmarkChaosOverhead drives the same line write/read loop as
+// BenchmarkCXLPortLine in three configurations, so benchstat can show
+// what an installed-but-quiet chaos engine costs:
+//
+//   - detached: no engine, the production fast path;
+//   - attached-idle: an engine whose plan has exhausted its fire
+//     budget — exhaustion auto-uninstalls the port hook, so this must
+//     be code-path-identical to detached (CI gates the ratio ≤1.01);
+//   - armed: a live rule whose address filter never matches the
+//     traffic, i.e. the true per-flit cost of keeping a plan hot.
+func BenchmarkChaosOverhead(b *testing.B) {
+	run := func(b *testing.B, mode string) {
+		rp, base := benchCXLPort(b)
+		var line [cxl.LineSize]byte
+		switch mode {
+		case "attached-idle":
+			eng, err := chaos.NewEngine(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
+				{Site: chaos.SitePort, Action: chaos.ActDrop, Trigger: chaos.Trigger{Nth: 1, Count: 1}},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.AttachPort(rp)
+			// One throwaway write fires the single-shot rule; the
+			// exhausted plan uninstalls its hook before the timer starts.
+			if err := rp.WriteLine(base, &line); err != nil {
+				b.Fatal(err)
+			}
+			if eng.Fires() != 1 {
+				b.Fatalf("warmup fired %d times, want 1 (plan not exhausted)", eng.Fires())
+			}
+		case "armed":
+			eng, err := chaos.NewEngine(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
+				{Site: chaos.SitePort, Action: chaos.ActCorrupt,
+					Trigger: chaos.Trigger{Every: 1, AddrLo: 1 << 40, AddrHi: 1<<40 + 64}},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.AttachPort(rp)
+			defer eng.Disarm()
+		}
+		b.SetBytes(int64(cxl.LineSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			addr := base + uint64(i%1024)*64
+			if err := rp.WriteLine(addr, &line); err != nil {
+				b.Fatal(err)
+			}
+			if err := rp.ReadLine(addr, &line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("detached", func(b *testing.B) { run(b, "detached") })
+	b.Run("attached-idle", func(b *testing.B) { run(b, "attached-idle") })
+	b.Run("armed", func(b *testing.B) { run(b, "armed") })
+}

@@ -16,6 +16,7 @@
 //	fabricctl [flags] health
 //	fabricctl [flags] evacuate  -pool NAME
 //	fabricctl [flags] watch-events
+//	fabricctl [flags] inject    SITE ACTION -seed S -nth N -every E -count C -delay D
 //	fabricctl [flags] top       -iterations N -interval D -serve ADDR
 //	fabricctl [flags] trace     -port N -n FLITS
 package main
@@ -46,7 +47,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events | top | trace")
+		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events | inject | top | trace")
 	}
 
 	e, err := cluster.NewElastic(cluster.ElasticConfig{
@@ -132,6 +133,8 @@ func main() {
 		runEvacuate(e, *pool)
 	case "watch-events":
 		watchEvents(e)
+	case "inject":
+		runInject(e, args)
 	case "top":
 		runTop(e, args)
 	case "trace":

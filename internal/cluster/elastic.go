@@ -27,6 +27,26 @@ type Elastic struct {
 	Throttle *Throttle
 
 	media memdev.Device
+	// cmdDeadline bounds each host-agent mailbox round trip (0 = wait
+	// forever, the historical behaviour). See SetCommandDeadline.
+	cmdDeadline time.Duration
+}
+
+// SetCommandDeadline bounds every host-agent mailbox command (the
+// accept/release round trips inside Grow and Shrink) to d. A tenant
+// whose device stalls past the deadline surfaces cxl.MboxTimeout as an
+// error — and the device's CommandTimeouts RAS counter records it —
+// instead of hanging the capacity operation forever. Zero restores
+// unbounded waits.
+func (e *Elastic) SetCommandDeadline(d time.Duration) { e.cmdDeadline = d }
+
+// execute runs one host-agent mailbox command under the configured
+// deadline.
+func (e *Elastic) execute(mb *cxl.Mailbox, op cxl.MailboxOpcode, in []byte) ([]byte, cxl.MailboxStatus) {
+	if e.cmdDeadline > 0 {
+		return mb.ExecuteTimeout(op, in, e.cmdDeadline)
+	}
+	return mb.Execute(op, in)
 }
 
 // ElasticHost is one tenant host: its root port trained against the
@@ -183,7 +203,7 @@ func (e *Elastic) Grow(i int, size units.Size) ([]fabric.ExtentInfo, error) {
 		return ev.Type == fabric.EventAddCapacity && mine[ev.Extent.Tag]
 	})
 	for _, ev := range offers {
-		_, status := h.Tenant.Mailbox().Execute(cxl.OpAddDCDResponse, cxl.EncodeDCDResponse(ev.Extent.DCD(), true))
+		_, status := e.execute(h.Tenant.Mailbox(), cxl.OpAddDCDResponse, cxl.EncodeDCDResponse(ev.Extent.DCD(), true))
 		if status != cxl.MboxSuccess {
 			return nil, fmt.Errorf("cluster: host %d: accepting %v: %v", i, ev.Extent, status)
 		}
@@ -224,7 +244,7 @@ func (e *Elastic) Shrink(i int, size units.Size) (units.Size, error) {
 	})
 	var released units.Size
 	for _, ev := range requests {
-		_, status := h.Tenant.Mailbox().Execute(cxl.OpReleaseDCD, cxl.EncodeDCDExtent(ev.Extent.DCD()))
+		_, status := e.execute(h.Tenant.Mailbox(), cxl.OpReleaseDCD, cxl.EncodeDCDExtent(ev.Extent.DCD()))
 		if status != cxl.MboxSuccess {
 			return released, fmt.Errorf("cluster: host %d: releasing %v: %v", i, ev.Extent, status)
 		}

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"cxlpmem/internal/chaos"
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/fabric"
 	"cxlpmem/internal/units"
@@ -228,5 +231,51 @@ func TestElasticForcedReclaimEndToEnd(t *testing.T) {
 	}
 	if _, err := e.Drive(1, 256*units.KiB); err != nil {
 		t.Errorf("drive after recovery: %v", err)
+	}
+}
+
+// TestElasticCommandDeadline: an unresponsive tenant mailbox (chaos
+// stall) cannot hang Grow past the configured command deadline — the
+// operation fails with the timeout status and the device's RAS counter
+// records the stuck command.
+func TestElasticCommandDeadline(t *testing.T) {
+	e := testElastic(t, 1)
+	h := e.Hosts[0]
+	eng, err := chaos.NewEngine(chaos.Plan{
+		Seed: 11,
+		Rules: []chaos.Rule{{
+			Site: chaos.SiteFabric, Action: chaos.ActStall,
+			Trigger: chaos.Trigger{Every: 1}, Delay: 500 * time.Millisecond,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachMailbox(h.Tenant.Name(), h.Tenant.Mailbox())
+	defer eng.Disarm()
+
+	e.SetCommandDeadline(5 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Grow(0, units.MiB)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "timeout") {
+			t.Fatalf("stalled grow: %v, want a timeout status", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("grow hung past the command deadline")
+	}
+	if eng.Fires() == 0 {
+		t.Fatal("fabric stall rule never fired")
+	}
+
+	// With the fault exhausted/disarmed, capacity ops recover.
+	eng.Disarm()
+	e.SetCommandDeadline(time.Second)
+	if _, err := e.Grow(0, units.MiB); err != nil {
+		t.Fatalf("grow after disarm: %v", err)
 	}
 }

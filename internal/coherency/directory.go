@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cxlpmem/internal/cxl"
 )
@@ -47,6 +48,14 @@ type DirStats struct {
 	MissWaits atomic.Int64
 	// Releases counts voluntary releases (evictions).
 	Releases atomic.Int64
+	// SnoopTimeouts counts RspMiss waits that exceeded the snoop
+	// deadline: the evicting host never released (dead or wedged).
+	SnoopTimeouts atomic.Int64
+	// ForcedInvalidations counts holders removed from the record
+	// without a clean handshake — a dead sharer force-invalidated after
+	// a snoop timeout or an unreachable snooper. The host's cached (and
+	// possibly dirty) copy is sacrificed to keep the directory live.
+	ForcedInvalidations atomic.Int64
 }
 
 // dirLine is one line's directory entry: a sharer bitmask plus the
@@ -85,6 +94,25 @@ type Directory struct {
 	// snoopDelay, when set, runs before every snoop is issued — test
 	// hook for widening the race windows linearizability tests probe.
 	snoopDelay atomic.Pointer[func()]
+	// snoopTimeoutNs bounds the RspMiss release wait; forceInv enables
+	// force-invalidating unreachable holders. See SetRecovery.
+	snoopTimeoutNs atomic.Int64
+	forceInv       atomic.Bool
+}
+
+// SetRecovery configures the directory's dead-holder policy. timeout
+// (when > 0) bounds how long a snoop waits for a RspMiss holder's
+// release before force-removing it from the record; forceInvalidate
+// additionally converts unreachable-snooper fabric errors (a mangled or
+// lost BISnp, a detached host) into forced invalidations instead of
+// failed grants. Both default off: an unconfigured directory waits
+// forever and surfaces fabric errors, exactly as before. Forcing a
+// holder out sacrifices that host's cached — possibly dirty — copy;
+// the directory stays live and every other host keeps coherent
+// semantics, which is the availability trade a dead sharer forces.
+func (d *Directory) SetRecovery(timeout time.Duration, forceInvalidate bool) {
+	d.snoopTimeoutNs.Store(int64(timeout))
+	d.forceInv.Store(forceInvalidate)
 }
 
 // NewDirectory builds the directory for a segment shared by the hosts
@@ -208,6 +236,14 @@ func (d *Directory) snoop(host int, line uint64, op cxl.BISnpOpcode) (cxl.BIRsp,
 		Tag:    uint16(d.tag.Add(1)),
 	})
 	if err != nil {
+		if d.forceInv.Load() {
+			// The snooper is unreachable (lost/mangled BI flit, detached
+			// host): treat the holder as surrendered so the grant can
+			// proceed. Its cached copy — dirty data included — is lost;
+			// the alternative is a directory wedged on a dead host.
+			d.stats.ForcedInvalidations.Add(1)
+			return cxl.BIRsp{Opcode: cxl.RspIHit}, nil
+		}
 		return rsp, err
 	}
 	if rsp.Dirty {
@@ -220,15 +256,48 @@ func (d *Directory) snoop(host int, line uint64, op cxl.BISnpOpcode) (cxl.BIRsp,
 		d.stats.Downgrades.Add(1)
 	case cxl.RspMiss:
 		d.stats.MissWaits.Add(1)
-		d.mu.Lock()
-		for d.holdsLocked(host, line) {
-			d.cond.Wait()
-		}
-		d.mu.Unlock()
+		d.waitRelease(host, line)
 	case cxl.RspRetry:
 		return rsp, fmt.Errorf("coherency: host %d deferred %v of line %d (write-back failed); retry", host, op, line)
 	}
 	return rsp, nil
+}
+
+// waitRelease blocks until host is no longer a recorded holder of line
+// (the RspMiss contract: a victim eviction's Release is coming). With a
+// snoop timeout configured, a holder that never releases is forced off
+// the record instead of wedging the directory — the dead-sharer
+// recovery the chaos plane exercises.
+func (d *Directory) waitRelease(host int, line uint64) {
+	to := time.Duration(d.snoopTimeoutNs.Load())
+	var deadline time.Time
+	if to > 0 {
+		deadline = time.Now().Add(to)
+	}
+	d.mu.Lock()
+	for d.holdsLocked(host, line) {
+		if to <= 0 {
+			d.cond.Wait()
+			continue
+		}
+		if time.Now().After(deadline) {
+			l := &d.lines[line]
+			if int(l.owner) == host {
+				l.owner = -1
+			}
+			l.sharers &^= 1 << uint(host)
+			d.stats.SnoopTimeouts.Add(1)
+			d.stats.ForcedInvalidations.Add(1)
+			d.cond.Broadcast()
+			break
+		}
+		// sync.Cond has no timed wait: poll with a short sleep so the
+		// deadline is honoured even if the release never broadcasts.
+		d.mu.Unlock()
+		time.Sleep(20 * time.Microsecond)
+		d.mu.Lock()
+	}
+	d.mu.Unlock()
 }
 
 // holdsLocked reports whether the directory still records host as a

@@ -33,5 +33,7 @@ func RegisterDirectoryMetrics(reg *telemetry.Registry, name string, d *Directory
 		e.Counter("coherency_downgrades_total", labels, st.Downgrades.Load())
 		e.Counter("coherency_invalidations_total", labels, st.Invalidations.Load())
 		e.Counter("coherency_miss_waits_total", labels, st.MissWaits.Load())
+		e.Counter("coherency_snoop_timeouts_total", labels, st.SnoopTimeouts.Load())
+		e.Counter("coherency_forced_invalidations_total", labels, st.ForcedInvalidations.Load())
 	})
 }

@@ -39,6 +39,11 @@ var (
 	// completions are not being consumed; Wait or Harvest outstanding
 	// tokens, then resubmit.
 	ErrRingFull = errors.New("submission ring full")
+	// ErrTimeout — a bounded wait expired: a descriptor deadline
+	// (Completion.WaitTimeout), a retrain that never completed, or a
+	// command deadline. The operation's outcome is unknown; the caller
+	// decides whether to requeue or fail.
+	ErrTimeout = errors.New("operation timed out")
 )
 
 // PortError reports a transaction-level failure at a port. It wraps a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Memory-device command interface (mailbox). CXL 2.0 Type-3 devices
@@ -62,6 +63,10 @@ const (
 	MboxInvalidInput MailboxStatus = 2
 	// MboxInternalError — device-side failure.
 	MboxInternalError MailboxStatus = 3
+	// MboxTimeout — the command deadline expired before the device
+	// answered (ExecuteTimeout). Host-side synthetic status: the device
+	// may still be executing; its eventual result is discarded.
+	MboxTimeout MailboxStatus = 0xFFFF
 )
 
 func (s MailboxStatus) String() string {
@@ -74,6 +79,8 @@ func (s MailboxStatus) String() string {
 		return "invalid-input"
 	case MboxInternalError:
 		return "internal-error"
+	case MboxTimeout:
+		return "timeout"
 	default:
 		return fmt.Sprintf("MailboxStatus(%d)", uint16(s))
 	}
@@ -156,6 +163,11 @@ type Mailbox struct {
 	// npoison mirrors len(poison) so IsPoisoned — which runs on every
 	// HDM access — can skip the lock while the list is empty.
 	npoison atomic.Int64
+	// fault, when set, intercepts commands before execution: it may
+	// stall (sleep, then pass through) or answer in the device's stead
+	// (garbled response). Fault injection for the command plane, the
+	// mailbox twin of RootPort.SetFault.
+	fault atomic.Pointer[func(MailboxOpcode) (MailboxStatus, bool)]
 }
 
 // poisonListMax bounds the tracked poison list, as real devices do.
@@ -184,9 +196,58 @@ func (m *Mailbox) SetDCD(b DCDBackend) {
 	m.dcd = b
 }
 
+// SetFault installs (or, with nil, removes) the command-plane fault
+// hook. It runs outside the mailbox lock, so a stalling hook blocks
+// only the stalled command, not poison checks on the data path. When
+// the hook returns intercepted=true, its status is the command's
+// result and the device never executes.
+func (m *Mailbox) SetFault(f func(MailboxOpcode) (MailboxStatus, bool)) {
+	if f == nil {
+		m.fault.Store(nil)
+		return
+	}
+	m.fault.Store(&f)
+}
+
+// ExecuteTimeout is Execute with a command deadline: if the device does
+// not answer within d, it returns MboxTimeout, charges the device's
+// CommandTimeouts RAS counter, and discards the eventual result. The
+// command itself keeps running to completion device-side (a stalled
+// mailbox is stalled, not dead), so state-changing commands may still
+// take effect after a timeout — exactly the ambiguity a real fabric
+// manager faces. A non-positive d degenerates to Execute.
+func (m *Mailbox) ExecuteTimeout(op MailboxOpcode, in []byte, d time.Duration) ([]byte, MailboxStatus) {
+	if d <= 0 {
+		return m.Execute(op, in)
+	}
+	type result struct {
+		out    []byte
+		status MailboxStatus
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, st := m.Execute(op, in)
+		ch <- result{out, st}
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.status
+	case <-t.C:
+		m.dev.media.Stats().CommandTimeouts.Add(1)
+		return nil, MboxTimeout
+	}
+}
+
 // Execute runs one command. in is the opcode-specific payload; out is
 // the opcode-specific response encoding.
 func (m *Mailbox) Execute(op MailboxOpcode, in []byte) (out []byte, status MailboxStatus) {
+	if f := m.fault.Load(); f != nil {
+		if st, intercepted := (*f)(op); intercepted {
+			return nil, st
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch op {

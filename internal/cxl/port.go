@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cxlpmem/internal/interconnect"
 	"cxlpmem/internal/memdev"
@@ -19,13 +20,22 @@ const (
 	LinkDown LinkState = iota
 	// LinkUp — training completed, transactions may flow.
 	LinkUp
+	// Retraining — the link dropped out of L0 and is renegotiating (a
+	// link flap). The endpoint is still attached; new transactions park
+	// until the retrain completes (bounded by PortOptions.RetrainTimeout)
+	// and then replay, instead of failing.
+	Retraining
 )
 
 func (s LinkState) String() string {
-	if s == LinkUp {
+	switch s {
+	case LinkUp:
 		return "up"
+	case Retraining:
+		return "retraining"
+	default:
+		return "down"
 	}
-	return "down"
 }
 
 // Multi-queue issue model. The port exposes NumVCs virtual channels,
@@ -70,6 +80,11 @@ type PortStats struct {
 	// CQOverflows counts live completion-queue entries dropped because
 	// the CQ filled faster than Harvest drained it.
 	CQOverflows int64
+	// Timeouts counts expired bounded waits: descriptor deadlines
+	// (WaitTimeout) and retrains that exceeded RetrainTimeout.
+	Timeouts int64
+	// Retrains counts LinkUp→Retraining transitions (link flaps).
+	Retrains int64
 	// VCs holds the per-virtual-channel issue/retry split.
 	VCs [NumVCs]VCStat
 }
@@ -144,14 +159,95 @@ type RootPort struct {
 	tap    atomic.Pointer[portTap]
 	tapCfg *tapConfig
 
+	// cfg is the resolved PortOptions snapshot; the data path only loads
+	// it on retry/park paths, never on a clean transaction.
+	cfg atomic.Pointer[PortOptions]
+
 	doorbells atomic.Int64
 	harvested atomic.Int64
+	timeouts  atomic.Int64
+	retrains  atomic.Int64
 	rings     [NumVCs]vcRing
 }
 
-// maxLinkRetries bounds retransmission before the port reports an
-// uncorrectable link error.
+// maxLinkRetries is the default retransmission budget before the port
+// reports an uncorrectable link error (PortOptions.MaxLinkRetries).
 const maxLinkRetries = 3
+
+// defaultRetrainTimeout bounds how long a transaction parks waiting for
+// a retraining link before failing with ErrTimeout.
+const defaultRetrainTimeout = 2 * time.Second
+
+// PortOptions tunes the port's link-recovery behaviour. The zero value
+// resolves to today's defaults: a budget of maxLinkRetries immediate
+// retransmissions (no backoff) and a 2 s retrain deadline.
+type PortOptions struct {
+	// MaxLinkRetries is the per-flit retransmission budget before the
+	// transaction fails with ErrUncorrectable (0 takes the default, 3;
+	// negative means no retries).
+	MaxLinkRetries int
+	// RetryBackoff is the base delay before the first retransmission;
+	// each further retry doubles it (bounded exponential backoff with
+	// deterministic jitter). Zero preserves immediate retransmit.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff growth (0 with a nonzero
+	// RetryBackoff takes 8× the base).
+	RetryBackoffMax time.Duration
+	// RetrainTimeout bounds how long transactions park on a Retraining
+	// link before failing with ErrTimeout (0 takes 2 s).
+	RetrainTimeout time.Duration
+}
+
+// resolve fills defaults into a copy of o.
+func (o PortOptions) resolve() PortOptions {
+	if o.MaxLinkRetries == 0 {
+		o.MaxLinkRetries = maxLinkRetries
+	} else if o.MaxLinkRetries < 0 {
+		o.MaxLinkRetries = 0
+	}
+	if o.RetryBackoff > 0 && o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 8 * o.RetryBackoff
+	}
+	if o.RetrainTimeout <= 0 {
+		o.RetrainTimeout = defaultRetrainTimeout
+	}
+	return o
+}
+
+// SetOptions publishes new link-recovery options. Safe while traffic is
+// in flight: each retry loop reads the snapshot current when it entered
+// its error path.
+func (rp *RootPort) SetOptions(o PortOptions) {
+	r := o.resolve()
+	rp.cfg.Store(&r)
+}
+
+// Options returns the resolved options in effect.
+func (rp *RootPort) Options() PortOptions { return *rp.cfg.Load() }
+
+// backoff sleeps the bounded-exponential retry delay for the given
+// attempt. The jitter (±25%) is a pure function of (addr, attempt), so
+// a replayed fault schedule waits the identical curve. With no backoff
+// configured this is a single field load.
+func (rp *RootPort) backoff(cfg *PortOptions, attempt int, addr uint64) {
+	if cfg.RetryBackoff <= 0 {
+		return
+	}
+	d := cfg.RetryBackoff << uint(attempt)
+	if d <= 0 || d > cfg.RetryBackoffMax {
+		d = cfg.RetryBackoffMax
+	}
+	// Deterministic jitter: hash the (addr, attempt) pair into [-25%, +25%).
+	h := addr*0x9e3779b97f4a7c15 + uint64(attempt)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	jitter := int64(d) / 4
+	if jitter > 0 {
+		d += time.Duration(int64(h%uint64(2*jitter)) - jitter)
+	}
+	time.Sleep(d)
+}
 
 // maxBurstBytes is the payload of a maximal burst (4 KiB).
 const maxBurstBytes = MaxBurstLines * LineSize
@@ -163,6 +259,8 @@ var burstBufPool = sync.Pool{New: func() any { return new([maxBurstBytes]byte) }
 // NewRootPort builds a root port over the given physical link.
 func NewRootPort(name string, link *interconnect.Link) *RootPort {
 	rp := &RootPort{name: name, link: link}
+	cfg := PortOptions{}.resolve()
+	rp.cfg.Store(&cfg)
 	for i := range rp.rings {
 		rp.rings[i].init(rp, i)
 	}
@@ -175,6 +273,8 @@ func (rp *RootPort) Stats() PortStats {
 	var st PortStats
 	st.Doorbells = rp.doorbells.Load()
 	st.Harvested = rp.harvested.Load()
+	st.Timeouts = rp.timeouts.Load()
+	st.Retrains = rp.retrains.Load()
 	for i := range rp.rings {
 		r := &rp.rings[i]
 		issued := int64(r.tail.Load())
@@ -279,17 +379,99 @@ func (rp *RootPort) Attach(ep Endpoint) error {
 }
 
 // Detach brings the link down and releases the endpoint. Transactions
-// already in flight complete against the endpoint they started with.
+// already in flight complete against the endpoint they started with;
+// descriptors still queued on the rings are drained and completed with
+// ErrLinkDown (posted to the CQs), so no Wait or Harvest consumer ever
+// blocks on a surprise-removed port.
 func (rp *RootPort) Detach() {
 	rp.mu.Lock()
-	defer rp.mu.Unlock()
 	rp.sess.Store(&portSession{state: LinkDown})
+	rp.mu.Unlock()
+	rp.drainRings()
+}
+
+// drainRings flushes every VC so descriptors published before the link
+// went down complete (with ErrLinkDown, now that the session is down)
+// instead of sitting unflushed forever.
+func (rp *RootPort) drainRings() {
+	for i := range rp.rings {
+		if rp.rings[i].pending() {
+			rp.flushVC(&rp.rings[i])
+		}
+	}
+}
+
+// StartRetrain takes a trained link out of L0 into Retraining (a link
+// flap): the endpoint stays attached, new transactions park until
+// CompleteRetrain. Errors if the link is not up.
+func (rp *RootPort) StartRetrain() error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	s := rp.sess.Load()
+	if s == nil || s.state != LinkUp || s.endpoint == nil {
+		return portErr(rp.name, "Retrain", 0, ErrLinkDown, "link not up")
+	}
+	next := *s
+	next.state = Retraining
+	rp.sess.Store(&next)
+	rp.retrains.Add(1)
+	return nil
+}
+
+// CompleteRetrain finishes a retrain: back to LinkUp on success, or
+// LinkDown (draining queued descriptors, like Detach) on failure. A
+// no-op unless the link is Retraining.
+func (rp *RootPort) CompleteRetrain(up bool) {
+	rp.mu.Lock()
+	s := rp.sess.Load()
+	if s == nil || s.state != Retraining {
+		rp.mu.Unlock()
+		return
+	}
+	if up {
+		next := *s
+		next.state = LinkUp
+		rp.sess.Store(&next)
+		rp.mu.Unlock()
+		return
+	}
+	rp.sess.Store(&portSession{state: LinkDown})
+	rp.mu.Unlock()
+	rp.drainRings()
+}
+
+// awaitRetrain parks until a Retraining link settles: the LinkUp
+// session to replay against, ErrLinkDown if training failed, or
+// ErrTimeout after RetrainTimeout (the flap never ended).
+func (rp *RootPort) awaitRetrain() (*portSession, error) {
+	deadline := time.Now().Add(rp.cfg.Load().RetrainTimeout)
+	for {
+		s := rp.sess.Load()
+		if s == nil || s.state == LinkDown || s.endpoint == nil {
+			return nil, ErrLinkDown
+		}
+		if s.state == LinkUp {
+			return s, nil
+		}
+		if time.Now().After(deadline) {
+			rp.timeouts.Add(1)
+			return nil, ErrTimeout
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
 }
 
 // session returns the hot-path link snapshot, or an error when the link
-// is down.
+// is down. A Retraining link parks (bounded) and replays.
 func (rp *RootPort) session(op string, addr uint64) (*portSession, error) {
 	s := rp.sess.Load()
+	if s != nil && s.state == Retraining {
+		s2, err := rp.awaitRetrain()
+		if err != nil {
+			return nil, portErr(rp.name, op, addr, err, err.Error())
+		}
+		return s2, nil
+	}
 	if s == nil || s.state != LinkUp || s.endpoint == nil {
 		return nil, portErr(rp.name, op, addr, ErrLinkDown, "link down")
 	}
@@ -297,9 +479,12 @@ func (rp *RootPort) session(op string, addr uint64) (*portSession, error) {
 }
 
 // ringSession is the flush-path variant of session: the caller builds
-// per-descriptor errors itself, so only the down/up signal is needed.
+// per-descriptor errors itself, so only the sentinel is needed.
 func (rp *RootPort) ringSession() (*portSession, error) {
 	s := rp.sess.Load()
+	if s != nil && s.state == Retraining {
+		return rp.awaitRetrain()
+	}
 	if s == nil || s.state != LinkUp || s.endpoint == nil {
 		return nil, ErrLinkDown
 	}
@@ -355,7 +540,7 @@ func (rp *RootPort) syncTransact(kind uint8, op MemOpcode, addr, mask uint64, ou
 			hk, hist, t0 := rp.tapPick(t, rp.hooks.Load(), kind, op, false)
 			switch {
 			case serr != nil:
-				err = portErr(rp.name, op.String(), addr, ErrLinkDown, "link down")
+				err = portErr(rp.name, op.String(), addr, serr, serr.Error())
 			case kind == descBurst:
 				err = rp.ringBurst(s, hk, r, d, r.tagAt(t))
 			default:
@@ -530,11 +715,13 @@ func (rp *RootPort) sendHeader(s *portSession, h *portHooks, r *vcRing, req *Mem
 			return nil
 		}
 		h.flitErr(&f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, req.Opcode.String(), req.Addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, req.Addr)
 	}
 }
 
@@ -547,18 +734,23 @@ func (rp *RootPort) moveData(s *portSession, h *portHooks, r *vcRing, f *Flit, o
 		EncodeDataInto(f, tag, seq, src)
 		rp.moveFlit(h, f)
 		gotTag, gotSeq, err := DecodeDataInto(dst, f)
-		if err == nil {
-			if gotTag != tag || gotSeq != seq {
-				return portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("data flit tag/seq mismatch: sent %d/%d got %d/%d", tag, seq, gotTag, gotSeq))
-			}
+		if err == nil && gotTag == tag && gotSeq == seq {
 			return nil
 		}
+		if err == nil {
+			// A valid flit with the wrong tag/seq is a reordered delivery:
+			// the sequence check NAKs it and the sender retransmits, same
+			// as a CRC failure.
+			err = portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("data flit tag/seq mismatch: sent %d/%d got %d/%d", tag, seq, gotTag, gotSeq))
+		}
 		h.flitErr(f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error on data flit: "+err.Error())
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, addr)
 	}
 }
 
@@ -571,19 +763,21 @@ func (rp *RootPort) recvResp(s *portSession, h *portHooks, r *vcRing, op MemOpco
 		EncodeRespInto(&f, resp)
 		rp.moveFlit(h, &f)
 		if err = DecodeRespInto(out, &f); err == nil {
-			break
+			if out.Tag == tag {
+				return nil
+			}
+			// Reordered response: NAK and retransmit, like a CRC failure.
+			err = portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag))
 		}
 		h.flitErr(&f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, op.String(), addr, ErrUncorrectable, "uncorrectable link error: "+err.Error())
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, addr)
 	}
-	if out.Tag != tag {
-		return portErr(rp.name, op.String(), addr, ErrTagMismatch, fmt.Sprintf("tag mismatch: sent %d got %d", tag, out.Tag))
-	}
-	return nil
 }
 
 // handleBurst dispatches a decoded burst to the endpoint: natively when

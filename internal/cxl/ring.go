@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Submission/completion rings: the io_uring-shaped small-op data path.
@@ -127,6 +128,53 @@ func (c *Completion) Wait() error {
 	return err
 }
 
+// WaitTimeout is Wait with a per-descriptor deadline. On expiry it
+// returns ErrTimeout and abandons the token: whoever eventually
+// completes the descriptor consumes the slot, so the ring keeps
+// cycling. The transaction's real outcome is then unknown and its
+// completion is discarded (it never surfaces through Harvest either);
+// the caller decides whether to requeue the operation or fail. A
+// non-positive d degenerates to Wait.
+func (c *Completion) WaitTimeout(d time.Duration) error {
+	r := c.ring
+	if r == nil || d <= 0 {
+		return c.Wait()
+	}
+	slot := &r.slots[c.pos&ringMask]
+	if slot.seq.Load() < c.pos+2 {
+		r.rp.flushVC(r)
+		deadline := time.Now().Add(d)
+		for slot.seq.Load() < c.pos+2 {
+			if time.Now().After(deadline) {
+				return c.abandon(slot)
+			}
+			runtime.Gosched()
+		}
+	}
+	err := c.err
+	slot.seq.CompareAndSwap(c.pos+2, c.pos+RingSlots)
+	return err
+}
+
+// abandon marks the slot so its completer self-consumes it, then
+// double-checks for a completion that raced the deadline — if one
+// landed, it is claimed as a normal wait would.
+func (c *Completion) abandon(slot *sqSlot) error {
+	slot.abandoned.Store(c.pos + 1)
+	if slot.seq.Load() >= c.pos+2 {
+		if slot.seq.CompareAndSwap(c.pos+2, c.pos+RingSlots) {
+			slot.abandoned.CompareAndSwap(c.pos+1, 0)
+			return c.err
+		}
+		// Someone else consumed it (the completer's abandoned sweep);
+		// clear our mark if it is still ours.
+		slot.abandoned.CompareAndSwap(c.pos+1, 0)
+	}
+	rp := c.ring.rp
+	rp.timeouts.Add(1)
+	return portErr(rp.name, "WaitTimeout", 0, ErrTimeout, "descriptor deadline exceeded; completion abandoned")
+}
+
 // Completed is one harvested completion-queue entry.
 type Completed struct {
 	// Tag is the wire tag of the completed descriptor.
@@ -147,11 +195,16 @@ type cqRec struct {
 }
 
 // sqSlot is one SQ ring slot: the descriptor, its embedded completion
-// token, and the position-based state word.
+// token, and the position-based state word. abandoned carries pos+1
+// when the waiter for that position gave up (WaitTimeout); the
+// completer consumes such a slot itself so the ring never wedges on a
+// departed waiter. The value is generation-tagged (not a bool) so a
+// stale mark from a previous lap can never discard a live descriptor.
 type sqSlot struct {
-	seq  atomic.Uint64
-	comp Completion
-	desc ringDesc
+	seq       atomic.Uint64
+	abandoned atomic.Uint64
+	comp      Completion
+	desc      ringDesc
 }
 
 // vcRing is one virtual channel's SQ/CQ pair plus its per-VC counters
@@ -234,10 +287,15 @@ func (r *vcRing) submit(kind uint8, noCQ bool, op MemOpcode, addr, mask uint64, 
 
 // complete fills a descriptor's token and publishes the done state.
 // The CQ record is posted separately (postLocked) so a batch pays one
-// lock, not one per descriptor.
+// lock, not one per descriptor. A slot whose waiter abandoned it
+// (WaitTimeout expired) is consumed on the spot: the waiter is gone,
+// and its stale CQ record, if any, will be skipped by Harvest.
 func (r *vcRing) complete(slot *sqSlot, pos uint64, err error) {
 	slot.comp.err = err
 	slot.seq.Store(pos + 2)
+	if slot.abandoned.Load() == pos+1 && slot.seq.CompareAndSwap(pos+2, pos+RingSlots) {
+		slot.abandoned.CompareAndSwap(pos+1, 0)
+	}
 }
 
 // postLocked appends completion records to the CQ under cqMu. A full CQ
@@ -358,7 +416,7 @@ func (rp *RootPort) processSpan(r *vcRing, h, t uint64) {
 		d := &slot.desc
 		switch {
 		case serr != nil:
-			r.finish(slot, h, portErr(rp.name, d.op.String(), d.addr, ErrLinkDown, "link down"))
+			r.finish(slot, h, portErr(rp.name, d.op.String(), d.addr, serr, serr.Error()))
 		case d.kind == descBurst:
 			r.finish(slot, h, rp.ringBurst(s, hk, r, d, slot.comp.tag))
 		default:
@@ -378,7 +436,7 @@ func (rp *RootPort) processSpan(r *vcRing, h, t uint64) {
 		}
 		d := &slot.desc
 		if serr != nil {
-			r.finish(slot, pos, portErr(rp.name, d.op.String(), d.addr, ErrLinkDown, "link down"))
+			r.finish(slot, pos, portErr(rp.name, d.op.String(), d.addr, serr, serr.Error()))
 			continue
 		}
 		if d.kind == descBurst {
@@ -600,11 +658,13 @@ func (rp *RootPort) moveSQ(s *portSession, h *portHooks, r *vcRing, f *Flit, ent
 			return n, nil
 		}
 		h.flitErr(f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return 0, err
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, entries[0].Addr)
 	}
 }
 
@@ -618,11 +678,13 @@ func (rp *RootPort) moveCQ(s *portSession, h *portHooks, r *vcRing, f *Flit, ent
 			return n, nil
 		}
 		h.flitErr(f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return 0, err
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, entries[0].Addr)
 	}
 }
 
@@ -639,11 +701,13 @@ func (rp *RootPort) moveReq(s *portSession, h *portHooks, r *vcRing, f *Flit, d 
 			return nil
 		}
 		h.flitErr(f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return err
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, d.addr)
 	}
 }
 
@@ -655,18 +719,21 @@ func (rp *RootPort) moveRData(s *portSession, h *portHooks, r *vcRing, f *Flit, 
 		EncodeDataInto(f, tag, seq, src)
 		rp.moveFlit(h, f)
 		gotTag, gotSeq, err := DecodeDataInto(dst, f)
-		if err == nil {
-			if gotTag != tag || gotSeq != seq {
-				return portErr(rp.name, "MemRd", 0, ErrTagMismatch, "data flit tag/seq mismatch")
-			}
+		if err == nil && gotTag == tag && gotSeq == seq {
 			return nil
 		}
+		if err == nil {
+			// Reordered delivery: NAK and retransmit, like a CRC failure.
+			err = portErr(rp.name, "MemRd", 0, ErrTagMismatch, "data flit tag/seq mismatch")
+		}
 		h.flitErr(f)
-		if attempt >= maxLinkRetries {
+		cfg := rp.cfg.Load()
+		if attempt >= cfg.MaxLinkRetries {
 			s.uncorrectable()
 			return portErr(rp.name, "MemRd", 0, ErrUncorrectable, "uncorrectable link error on data flit: "+err.Error())
 		}
 		s.retry(r)
+		rp.backoff(cfg, attempt, uint64(tag))
 	}
 }
 

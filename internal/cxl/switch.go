@@ -40,6 +40,11 @@ type Switch struct {
 	// snoopTrace, when set, observes every BISnp/BIRsp flit crossing the
 	// switch — the telemetry plane's always-on snoop capture.
 	snoopTrace atomic.Pointer[func(Flit)]
+	// snoopFault, when set, may corrupt, delay or drop a back-invalidate
+	// flit in flight (fault injection on the snoop channel, the BI-path
+	// twin of RootPort.SetFault). A mangled flit fails decode and Snoop
+	// returns the error to the directory, which owns the recovery policy.
+	snoopFault atomic.Pointer[func(Flit) Flit]
 }
 
 // NewSwitch builds an empty switch.
@@ -280,6 +285,17 @@ func (sw *Switch) SetSnoopTrace(f func(Flit)) {
 	sw.snoopTrace.Store(&f)
 }
 
+// SetSnoopFault installs (or, with nil, removes) the hook that may
+// mangle a back-invalidate flit in flight. Applied to both directions
+// of every snoop, before the trace hook, like the port's fault slot.
+func (sw *Switch) SetSnoopFault(f func(Flit) Flit) {
+	if f == nil {
+		sw.snoopFault.Store(nil)
+		return
+	}
+	sw.snoopFault.Store(&f)
+}
+
 // Snoop routes one back-invalidate snoop upstream through a vPPB and
 // returns the host's response. Both messages genuinely round-trip the
 // flit codec — encode, wire, CRC check, decode — so the snoop channel
@@ -296,8 +312,12 @@ func (sw *Switch) Snoop(vppb string, req BISnp) (BIRsp, error) {
 		return BIRsp{}, fmt.Errorf("cxl: switch %s: no snooper on vPPB %s", sw.name, vppb)
 	}
 	tr := sw.snoopTrace.Load()
+	ft := sw.snoopFault.Load()
 	var f Flit
 	EncodeBISnpInto(&f, &req)
+	if ft != nil {
+		f = (*ft)(f)
+	}
 	if tr != nil {
 		(*tr)(f)
 	}
@@ -308,6 +328,9 @@ func (sw *Switch) Snoop(vppb string, req BISnp) (BIRsp, error) {
 	resp := s.HandleBISnp(decoded)
 	resp.Tag = decoded.Tag
 	EncodeBIRspInto(&f, &resp)
+	if ft != nil {
+		f = (*ft)(f)
+	}
 	if tr != nil {
 		(*tr)(f)
 	}

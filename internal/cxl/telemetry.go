@@ -180,6 +180,8 @@ func (rp *RootPort) EnableTelemetry(reg *telemetry.Registry, opts TelemetryOptio
 		e.Counter("cxl_port_doorbells_total", port, st.Doorbells)
 		e.Counter("cxl_port_harvested_total", port, st.Harvested)
 		e.Counter("cxl_port_cq_overflows_total", port, st.CQOverflows)
+		e.Counter("cxl_port_timeouts_total", port, st.Timeouts)
+		e.Counter("cxl_port_retrains_total", port, st.Retrains)
 		for i := range st.VCs {
 			e.Counter("cxl_vc_issued_total", vcLabels[i], st.VCs[i].Issued)
 			e.Counter("cxl_vc_retries_total", vcLabels[i], st.VCs[i].Retries)

@@ -106,6 +106,9 @@ type Stats struct {
 	Correctable   atomic.Int64
 	Uncorrectable atomic.Int64
 	LinkRetries   atomic.Int64
+	// CommandTimeouts counts mailbox commands whose deadline expired
+	// before the device answered — the command-plane health input.
+	CommandTimeouts atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -115,17 +118,19 @@ func (s *Stats) Snapshot() (reads, writes, bytesRead, bytesWritten int64) {
 
 // RASCounters is a plain-value copy of the error counters.
 type RASCounters struct {
-	Correctable   int64
-	Uncorrectable int64
-	LinkRetries   int64
+	Correctable     int64
+	Uncorrectable   int64
+	LinkRetries     int64
+	CommandTimeouts int64
 }
 
 // RAS returns a plain-value copy of the error counters.
 func (s *Stats) RAS() RASCounters {
 	return RASCounters{
-		Correctable:   s.Correctable.Load(),
-		Uncorrectable: s.Uncorrectable.Load(),
-		LinkRetries:   s.LinkRetries.Load(),
+		Correctable:     s.Correctable.Load(),
+		Uncorrectable:   s.Uncorrectable.Load(),
+		LinkRetries:     s.LinkRetries.Load(),
+		CommandTimeouts: s.CommandTimeouts.Load(),
 	}
 }
 

@@ -81,6 +81,10 @@ type Thresholds struct {
 	// MaxLinkRetries trips on CRC retry storms attributed to the
 	// device by its owning port.
 	MaxLinkRetries int64
+	// MaxCommandTimeouts trips on mailbox commands whose deadline
+	// expired — an unresponsive command plane usually precedes an
+	// unresponsive data plane.
+	MaxCommandTimeouts int64
 }
 
 // DefaultThresholds: one uncorrectable is already data loss at a
@@ -88,9 +92,10 @@ type Thresholds struct {
 // latent errors or a burst of link retries indicate dying media or a
 // flaky link.
 var DefaultThresholds = Thresholds{
-	MaxCorrectable:   4,
-	MaxUncorrectable: 1,
-	MaxLinkRetries:   64,
+	MaxCorrectable:     4,
+	MaxUncorrectable:   1,
+	MaxLinkRetries:     64,
+	MaxCommandTimeouts: 4,
 }
 
 // EventKind classifies a RAS event.
@@ -426,6 +431,7 @@ func (p *Plane) RegisterMetrics(reg *telemetry.Registry) {
 			e.Counter("ras_correctable_total", labels, h.Counters.Correctable)
 			e.Counter("ras_uncorrectable_total", labels, h.Counters.Uncorrectable)
 			e.Counter("ras_link_retries_total", labels, h.Counters.LinkRetries)
+			e.Counter("ras_command_timeouts_total", labels, h.Counters.CommandTimeouts)
 			e.Gauge("ras_poisoned_lines", labels, float64(h.PoisonedLines))
 			e.Counter("ras_scrubbed_bytes_total", labels, h.ScrubbedBytes)
 			e.Counter("ras_scrub_passes_total", labels, h.Passes)
@@ -457,6 +463,8 @@ func (p *Plane) Evaluate(name string) (State, error) {
 		reason = fmt.Sprintf("correctable errors %d >= %d", c.Correctable-d.base.Correctable, th.MaxCorrectable)
 	case th.MaxLinkRetries > 0 && c.LinkRetries-d.base.LinkRetries >= th.MaxLinkRetries:
 		reason = fmt.Sprintf("link retries %d >= %d", c.LinkRetries-d.base.LinkRetries, th.MaxLinkRetries)
+	case th.MaxCommandTimeouts > 0 && c.CommandTimeouts-d.base.CommandTimeouts >= th.MaxCommandTimeouts:
+		reason = fmt.Sprintf("command timeouts %d >= %d", c.CommandTimeouts-d.base.CommandTimeouts, th.MaxCommandTimeouts)
 	default:
 		d.publishLocked(Healthy) // refresh counters in the snapshot
 		return Healthy, nil

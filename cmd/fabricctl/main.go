@@ -19,6 +19,7 @@
 //	fabricctl [flags] inject    SITE ACTION -seed S -nth N -every E -count C -delay D
 //	fabricctl [flags] top       -iterations N -interval D -serve ADDR
 //	fabricctl [flags] trace     -port N -n FLITS
+//	fabricctl [flags] tier      -pages N -hotset H -epochs E -budget B
 package main
 
 import (
@@ -47,7 +48,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events | inject | top | trace")
+		log.Fatal("missing subcommand: list | grant | release | rebalance | reclaim | health | evacuate | watch-events | inject | top | trace | tier")
 	}
 
 	e, err := cluster.NewElastic(cluster.ElasticConfig{
@@ -139,6 +140,8 @@ func main() {
 		runTop(e, args)
 	case "trace":
 		runTrace(e, args)
+	case "tier":
+		runTier(e, args)
 	default:
 		log.Fatalf("unknown subcommand %q", cmd)
 	}

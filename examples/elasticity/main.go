@@ -139,8 +139,10 @@ func main() {
 		}
 		pages = append(pages, id)
 	}
-	// Pages 4 and 5 are hot; the rest go cold. Write real data so the
-	// migrations move real bytes.
+	// Cold-start placement put the first four pages on the fabric-granted
+	// cold tier and the overflow on DDR5. Pages 0 and 1 — cold-tier
+	// residents — are the hot set; the rest go cold. Write real data so
+	// the migrations move real bytes.
 	payload := make([]byte, 64)
 	for _, id := range pages {
 		for i := range payload {
@@ -151,7 +153,7 @@ func main() {
 		}
 	}
 	for r := 0; r < 16; r++ {
-		for _, id := range pages[4:] {
+		for _, id := range pages[:2] {
 			if err := mgr.Read(id, payload, 0); err != nil {
 				log.Fatal(err)
 			}

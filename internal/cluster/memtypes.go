@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cxlpmem/internal/cxl"
+	"cxlpmem/internal/fabric"
+	"cxlpmem/internal/memdev"
+	"cxlpmem/internal/units"
+)
+
+// Per-host memory-type requests over the elastic pool: a host can ask
+// that its capacity come only from certain media technologies
+// ("dram,cxl" for latency-sensitive tenants, "cxl,pmem" for bulk
+// tiers), the memtier-style container annotation mapped onto the
+// fabric manager's grant machinery. The appliance's primary pool is
+// DRAM; AddPMemPool provisions the persistent cold pool those masks
+// steer bulk tenants onto.
+
+// SetMemTypes installs a memory-type request for a host, parsed from a
+// spec like "dram,cxl" or "cxl,pmem". The empty spec clears the
+// restriction. Applies to future Grow grants (and evacuations); bytes
+// the host already holds stay where they are.
+func (e *Elastic) SetMemTypes(host int, spec string) error {
+	if host < 0 || host >= len(e.Hosts) {
+		return fmt.Errorf("cluster: no host %d", host)
+	}
+	mask, err := fabric.ParseMemTypes(spec)
+	if err != nil {
+		return err
+	}
+	return e.Fabric.SetMemTypes(e.Hosts[host].Tenant.Name(), mask)
+}
+
+// MemTypes reports a host's current memory-type request.
+func (e *Elastic) MemTypes(host int) (string, error) {
+	if host < 0 || host >= len(e.Hosts) {
+		return "", fmt.Errorf("cluster: no host %d", host)
+	}
+	return e.Hosts[host].Tenant.MemTypes().String(), nil
+}
+
+// AddPMemPool provisions a DCPMM-backed appliance device of the given
+// capacity and registers it with the fabric — the persistent cold pool
+// "cxl,pmem"-masked hosts draw bulk capacity from. Returns the new MLD.
+func (e *Elastic) AddPMemPool(name string, size units.Size) (*cxl.MLD, error) {
+	media, err := memdev.NewDCPMM(memdev.DCPMMConfig{
+		Name:     name + "-dcpmm",
+		Modules:  1,
+		Capacity: size,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mld, err := cxl.NewMLD(name, media)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Fabric.AddPool(mld); err != nil {
+		return nil, err
+	}
+	return mld, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+
+	"cxlpmem/internal/units"
+)
+
+// TestElasticPerHostMemTypes: host 0 requests "dram,cxl" and keeps
+// landing on the DRAM appliance pool; host 1 requests "cxl,pmem" and
+// its growth lands on the DCPMM pool even while DRAM capacity remains.
+func TestElasticPerHostMemTypes(t *testing.T) {
+	e := testElastic(t, 2)
+	if _, err := e.AddPMemPool("cold", 16*units.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetMemTypes(0, "dram,cxl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetMemTypes(1, "cxl,pmem"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.MemTypes(1); got != "cxl,pmem" {
+		t.Fatalf("host 1 mask = %q", got)
+	}
+
+	fastExts, err := e.Grow(0, units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range fastExts {
+		if x.Pool != "appliance" {
+			t.Errorf("dram,cxl host grew onto pool %s", x.Pool)
+		}
+	}
+	coldExts, err := e.Grow(1, units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range coldExts {
+		if x.Pool != "cold" {
+			t.Errorf("cxl,pmem host grew onto pool %s, want the pmem pool", x.Pool)
+		}
+	}
+	// The pmem-routed capacity is live through the host's port.
+	h := e.Hosts[1]
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = 0xC5
+	}
+	if err := h.Port.WriteBurst(h.Window.Base+coldExts[0].DPA, buf); err != nil {
+		t.Fatalf("write to pmem-backed extent: %v", err)
+	}
+	got := make([]byte, 4096)
+	if err := h.Port.ReadBurst(h.Window.Base+coldExts[0].DPA, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 0xC5 {
+			t.Fatalf("pmem-backed extent readback mismatch at %d", i)
+		}
+	}
+
+	if err := e.SetMemTypes(7, "dram"); err == nil {
+		t.Error("mask on unknown host accepted")
+	}
+	if err := e.SetMemTypes(0, "floppy"); err == nil {
+		t.Error("bogus memory type accepted")
+	}
+}

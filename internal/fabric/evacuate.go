@@ -49,7 +49,7 @@ func (m *Manager) EvacuatePool(name string) (moved int, err error) {
 			case ExtentPending:
 				// Never mapped, nothing to copy: re-reserve on a healthy
 				// pool and release the source bytes.
-				dst, pl, ok := m.allocExactLocked(live.Size)
+				dst, pl, ok := m.allocExactLocked(live.Size, t.memTypes)
 				if !ok {
 					return moved, fmt.Errorf("fabric: evacuating %s: no healthy pool holds %v", name, units.Size(live.Size))
 				}
@@ -59,7 +59,7 @@ func (m *Manager) EvacuatePool(name string) (moved int, err error) {
 				live.PoolBase, live.Pool = dst.Base, pl.name
 				moved++
 			case ExtentActive:
-				dst, pl, ok := m.allocExactLocked(live.Size)
+				dst, pl, ok := m.allocExactLocked(live.Size, t.memTypes)
 				if !ok {
 					return moved, fmt.Errorf("fabric: evacuating %s: no healthy pool holds %v", name, units.Size(live.Size))
 				}
@@ -76,10 +76,10 @@ func (m *Manager) EvacuatePool(name string) (moved int, err error) {
 // allocExactLocked reserves exactly size contiguous bytes from the
 // first healthy pool that can provide them (a migration target must
 // hold the whole extent — splitting would change the tenant's extent
-// list mid-flight).
-func (m *Manager) allocExactLocked(size uint64) (cxl.Extent, *pool, bool) {
+// list mid-flight) and whose media kind the tenant's mask allows.
+func (m *Manager) allocExactLocked(size uint64, mask MemTypes) (cxl.Extent, *pool, bool) {
 	for _, p := range m.pools {
-		if !p.healthy {
+		if !p.healthy || !mask.Allows(p.mld.Media().Profile().Kind) {
 			continue
 		}
 		ext, ok := p.mld.AllocExtentAny(units.Size(size))

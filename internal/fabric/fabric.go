@@ -195,8 +195,9 @@ type Tenant struct {
 	dsp   string
 
 	// Guarded by mgr.mu:
-	space   *cxl.ExtentAllocator // the tenant's device address space
-	extents map[uint64]*ExtentInfo
+	space    *cxl.ExtentAllocator // the tenant's device address space
+	extents  map[uint64]*ExtentInfo
+	memTypes MemTypes // memory-technology request mask for new grants
 
 	// Event queue, own lock (never held while calling out).
 	evMu   sync.Mutex
@@ -324,10 +325,11 @@ func (m *Manager) remainingLocked() units.Size {
 }
 
 // allocAnyLocked reserves up to size bytes from the first healthy pool
-// with free space.
-func (m *Manager) allocAnyLocked(size units.Size) (cxl.Extent, *pool, bool) {
+// with free space whose media kind the mask allows (MemAny matches
+// every pool).
+func (m *Manager) allocAnyLocked(size units.Size, mask MemTypes) (cxl.Extent, *pool, bool) {
 	for _, p := range m.pools {
-		if !p.healthy {
+		if !p.healthy || !mask.Allows(p.mld.Media().Profile().Kind) {
 			continue
 		}
 		if ext, ok := p.mld.AllocExtentAny(size); ok {
@@ -467,14 +469,14 @@ func (m *Manager) Grant(tenant string, size units.Size) ([]ExtentInfo, error) {
 			rollback()
 			return nil, fmt.Errorf("fabric: tenant %s: address space exhausted", tenant)
 		}
-		poolExt, pl, ok := m.allocAnyLocked(units.Size(spaceExt.Size))
+		poolExt, pl, ok := m.allocAnyLocked(units.Size(spaceExt.Size), t.memTypes)
 		if !ok {
 			if err := t.space.Free(spaceExt); err != nil {
 				panic(fmt.Sprintf("fabric: grant rollback: %v", err))
 			}
 			rollback()
-			return nil, fmt.Errorf("fabric: pool exhausted granting %v to %s (%v free)",
-				units.Size(want), tenant, m.remainingLocked())
+			return nil, fmt.Errorf("fabric: pool exhausted granting %v to %s (%v free, memory types %v)",
+				units.Size(want), tenant, m.remainingLocked(), t.memTypes)
 		}
 		if poolExt.Size < spaceExt.Size {
 			// Hand the unused tail of the address-space reservation back.
@@ -804,6 +806,18 @@ func (t *Tenant) Active() units.Size {
 		}
 	}
 	return units.Size(n)
+}
+
+// Extents snapshots the tenant's extents, sorted by grant tag — the
+// placement view fabricctl renders.
+func (t *Tenant) Extents() []ExtentInfo {
+	t.mgr.mu.Lock()
+	defer t.mgr.mu.Unlock()
+	out := make([]ExtentInfo, 0, len(t.extents))
+	for _, e := range sortedLocked(t) {
+		out = append(out, e)
+	}
+	return out
 }
 
 // push queues an event and pokes the notifier.

@@ -194,6 +194,7 @@ func (d *tenantMedia) ReadAt(p []byte, off int64) error {
 	}
 	d.stats.Reads.Add(1)
 	d.stats.BytesRead.Add(int64(len(p)))
+	d.stats.TouchHeat(off, len(p))
 	return nil
 }
 
@@ -215,6 +216,7 @@ func (d *tenantMedia) WriteAt(p []byte, off int64) error {
 	}
 	d.stats.Writes.Add(1)
 	d.stats.BytesWrite.Add(int64(len(p)))
+	d.stats.TouchHeat(off, len(p))
 	return nil
 }
 

@@ -109,6 +109,10 @@ type Stats struct {
 	// CommandTimeouts counts mailbox commands whose deadline expired
 	// before the device answered — the command-plane health input.
 	CommandTimeouts atomic.Int64
+
+	// heat, when enabled, holds the windowed per-region hotness
+	// counters the tiering policy daemon reads (heat.go).
+	heat atomic.Pointer[Heat]
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -345,6 +349,7 @@ func (d *baseDevice) ReadAt(p []byte, off int64) error {
 	d.store.readAt(p, off)
 	d.stats.Reads.Add(1)
 	d.stats.BytesRead.Add(int64(len(p)))
+	d.stats.TouchHeat(off, len(p))
 	return nil
 }
 
@@ -355,6 +360,7 @@ func (d *baseDevice) WriteAt(p []byte, off int64) error {
 	d.store.writeAt(p, off)
 	d.stats.Writes.Add(1)
 	d.stats.BytesWrite.Add(int64(len(p)))
+	d.stats.TouchHeat(off, len(p))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package tiering
 
 import (
 	"strconv"
+	"time"
 
 	"cxlpmem/internal/telemetry"
 )
@@ -18,5 +19,27 @@ func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
 		for i, pages := range st.PagesPerTier {
 			e.Gauge("tiering_tier_pages", telemetry.Labels("tier", strconv.Itoa(i)), float64(pages))
 		}
+	})
+}
+
+// RegisterMetrics exposes the policy daemon's epoch activity: cumulative
+// promotion/demotion/deferral rates, the last epoch's scan size, and an
+// epoch-latency histogram fed as epochs complete.
+func (d *Daemon) RegisterMetrics(reg *telemetry.Registry) {
+	hist := reg.NewHistogram("tiering_daemon_epoch_ns", "")
+	d.mu.Lock()
+	d.epochDur = func(dur time.Duration) { hist.Record(dur.Nanoseconds()) }
+	d.mu.Unlock()
+	reg.RegisterCollector(func(e *telemetry.Emitter) {
+		d.mu.Lock()
+		promoted, demoted, deferred := d.promoted, d.demoted, d.deferred
+		last := d.last
+		d.mu.Unlock()
+		e.Counter("tiering_daemon_promotions_total", "", int64(promoted))
+		e.Counter("tiering_daemon_demotions_total", "", int64(demoted))
+		e.Counter("tiering_daemon_deferred_total", "", int64(deferred))
+		e.Counter("tiering_daemon_epochs_total", "", int64(last.Epoch))
+		e.Gauge("tiering_daemon_scanned_pages", "", float64(last.Pages))
+		e.Gauge("tiering_daemon_last_budget_used", "", float64(last.BudgetUsed))
 	})
 }

@@ -10,12 +10,31 @@
 // and demotion physically move the page contents between devices (real
 // data movement, as everywhere in this repository) and the modelled
 // cost of every migration is accounted.
+//
+// The Manager is the mechanism half; the policy half is the Daemon
+// (daemon.go), which watches device-side hotness counters
+// (memdev.Stats heat windows) and runs budgeted, hysteresis-guarded
+// promotion/demotion epochs in the background. New allocations land in
+// the far tier by default (cold start) and earn their way up.
+//
+// Concurrency model: foreground Read/Write on disjoint pages proceed
+// fully in parallel — the manager mutex guards only the placement maps
+// and is never held across device I/O. Each page carries its own
+// read-write placement lock (read-held across foreground I/O,
+// write-held across migration of that one page), so a 2 MiB migration
+// stalls accesses to the page being moved and nothing else. Migrations
+// themselves are serialized by a dedicated lock so budget accounting
+// and free-slot reservations stay simple. Lock order: page lock before
+// manager lock; the manager lock is never held while taking a page
+// lock or issuing I/O.
 package tiering
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cxlpmem/internal/cxl"
 	"cxlpmem/internal/memdev"
@@ -31,6 +50,11 @@ const PageSize = 2 << 20
 // fetched from the source, so a cross-tier move costs roughly
 // max(read, write) instead of read+write.
 const migrateChunk = 256 << 10
+
+// ErrTierFull reports a targeted move whose destination tier has no
+// free slot; the caller (the daemon's epoch planner) demotes or swaps
+// to make room instead.
+var ErrTierFull = errors.New("tiering: destination tier full")
 
 // Tier is one memory technology in the hybrid hierarchy, fastest first.
 type Tier struct {
@@ -48,25 +72,72 @@ type Tier struct {
 
 	used map[PageID]int64 // page -> tier-relative offset
 	free []int64          // free tier-relative offsets
+	// dirty marks free slots still holding a vacated page's bytes (a
+	// migration moved the page away, or a scrub failed). Alloc zeroes a
+	// dirty slot before handing it to a new owner, upholding the
+	// repo-wide scrub-on-free guarantee without paying a 2 MiB zero on
+	// every migration.
+	dirty map[int64]bool
+	// heat observes device-side hotness for this tier's slab (slot
+	// offsets map 1:1 onto device addresses in every supported data
+	// path). Set by EnableDeviceHeat; nil until then.
+	heat *memdev.Heat
 }
 
 // PageID names a managed page.
 type PageID int
 
-// pageState tracks placement and heat.
+// pageState tracks placement and heat of one page.
 type pageState struct {
-	tier     int // index into tiers
-	accesses uint64
+	// mu is the placement lock: read-held across foreground I/O,
+	// write-held across migration or free of this page. tier, off and
+	// freed are guarded by it.
+	mu    sync.RWMutex
+	tier  int   // index into tiers
+	off   int64 // tier-relative slot offset
+	freed bool
+
+	// accesses counts manager-path accesses since the last epoch (or
+	// Rebalance); atomic so the foreground path never write-locks.
+	accesses atomic.Uint64
+
+	// Daemon-owned policy state, touched only from the (single)
+	// daemon's epoch runner: exponentially decayed heat and epochs
+	// since the page last moved.
+	heat      float64
+	residency uint64
 }
+
+// AllocPolicy selects where new pages land.
+type AllocPolicy int
+
+const (
+	// AllocColdStart places new pages on the slowest tier with room:
+	// cold-start placement (memtier's cold-start feature) — pages earn
+	// their way up through observed heat.
+	AllocColdStart AllocPolicy = iota
+	// AllocFastFirst places new pages on the fastest tier with room
+	// (first-touch placement, the historical default).
+	AllocFastFirst
+)
 
 // Manager places pages across tiers.
 type Manager struct {
-	mu    sync.Mutex
+	// mu guards the placement maps (pages, every tier's used/free/
+	// dirty), the id counter and the migration stats. Never held
+	// across device I/O.
+	mu    sync.RWMutex
 	tiers []*Tier
 	pages map[PageID]*pageState
 	next  PageID
 
-	// stats
+	// migMu serializes migrations (MoveTo, swaps, Rebalance, daemon
+	// epochs) against each other; foreground I/O never takes it.
+	migMu sync.Mutex
+
+	policy AllocPolicy
+
+	// stats, guarded by mu.
 	promotions    int
 	demotions     int
 	bytesMigrated int64
@@ -94,6 +165,7 @@ func NewManager(tiers ...*Tier) (*Manager, error) {
 		for p := t.CapacityPages - 1; p >= 0; p-- {
 			t.free = append(t.free, int64(p)*PageSize)
 		}
+		t.dirty = make(map[int64]bool)
 	}
 	return &Manager{tiers: tiers, pages: make(map[PageID]*pageState)}, nil
 }
@@ -101,100 +173,218 @@ func NewManager(tiers ...*Tier) (*Manager, error) {
 // Tiers lists the hierarchy.
 func (m *Manager) Tiers() []*Tier { return m.tiers }
 
-// Alloc places a new page on the fastest tier with room, falling
-// through to slower tiers (first-touch placement).
-func (m *Manager) Alloc() (PageID, error) {
+// SetAllocPolicy selects the placement of future allocations.
+func (m *Manager) SetAllocPolicy(p AllocPolicy) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, t := range m.tiers {
-		if len(t.free) > 0 {
-			off := t.free[len(t.free)-1]
-			t.free = t.free[:len(t.free)-1]
-			id := m.next
-			m.next++
-			t.used[id] = off
-			m.pages[id] = &pageState{tier: i}
-			return id, nil
-		}
-	}
-	return 0, fmt.Errorf("tiering: all tiers full")
+	m.policy = p
+	m.mu.Unlock()
 }
 
-// Free releases a page.
-func (m *Manager) Free(id PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.pages[id]
-	if !ok {
-		return fmt.Errorf("tiering: no page %d", id)
+// EnableDeviceHeat attaches windowed hotness counters to every tier's
+// backing device at PageSize granularity, so heat is observed at the
+// device — counting every access path that reaches the media, not just
+// Manager.Read/Write. Idempotent; the Daemon calls it on construction.
+func (m *Manager) EnableDeviceHeat() error {
+	for _, t := range m.tiers {
+		h, err := t.Node.Device.Stats().EnableHeat(t.Node.Device.Capacity(), PageSize)
+		if err != nil {
+			return fmt.Errorf("tiering: tier %s: %w", t.Name, err)
+		}
+		t.heat = h
 	}
-	t := m.tiers[st.tier]
-	t.free = append(t.free, t.used[id])
-	delete(t.used, id)
-	delete(m.pages, id)
 	return nil
 }
 
-// locate returns the tier and offset of a page.
-func (m *Manager) locate(id PageID) (*Tier, int64, *pageState, error) {
-	st, ok := m.pages[id]
-	if !ok {
-		return nil, 0, nil, fmt.Errorf("tiering: no page %d", id)
+// zeroChunk is the shared scrub source: always-zero bytes written over
+// a slot being scrubbed. Read-only after init.
+var zeroChunk = make([]byte, migrateChunk)
+
+// zeroSlot scrubs one page-sized slot through the tier's data path.
+func zeroSlot(io cxl.MemIO, off int64) error {
+	for o := int64(0); o < PageSize; o += migrateChunk {
+		if err := io.WriteAt(zeroChunk, off+o); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// popFreeLocked takes a slot off a tier's free list, reporting whether
+// it still holds stale bytes. Caller holds m.mu.
+func popFreeLocked(t *Tier) (off int64, dirty bool) {
+	off = t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	dirty = t.dirty[off]
+	delete(t.dirty, off)
+	return off, dirty
+}
+
+// allocOrder returns tier indices in placement-preference order.
+func (m *Manager) allocOrderLocked() []int {
+	order := make([]int, len(m.tiers))
+	for i := range order {
+		if m.policy == AllocColdStart {
+			order[i] = len(m.tiers) - 1 - i
+		} else {
+			order[i] = i
+		}
+	}
+	return order
+}
+
+// Alloc places a new page according to the allocation policy: on the
+// slowest tier with room under the default cold-start policy (the page
+// earns promotion through observed heat), or on the fastest with room
+// under AllocFastFirst. The slot is guaranteed to read as zeros.
+func (m *Manager) Alloc() (PageID, error) {
+	m.mu.Lock()
+	for _, ti := range m.allocOrderLocked() {
+		t := m.tiers[ti]
+		if len(t.free) == 0 {
+			continue
+		}
+		off, dirty := popFreeLocked(t)
+		id := m.next
+		m.next++
+		st := &pageState{tier: ti, off: off}
+		// Hold the page's placement lock across the scrub so a daemon
+		// epoch cannot migrate the page mid-zero.
+		st.mu.Lock()
+		t.used[id] = off
+		m.pages[id] = st
+		m.mu.Unlock()
+		if dirty {
+			if err := zeroSlot(t.IO, off); err != nil {
+				// Undo the allocation; the slot stays dirty.
+				st.freed = true
+				st.mu.Unlock()
+				m.mu.Lock()
+				delete(m.pages, id)
+				delete(t.used, id)
+				t.free = append(t.free, off)
+				t.dirty[off] = true
+				m.mu.Unlock()
+				return 0, fmt.Errorf("tiering: scrubbing slot for new page: %w", err)
+			}
+		}
+		st.mu.Unlock()
+		return id, nil
+	}
+	m.mu.Unlock()
+	return 0, fmt.Errorf("tiering: all tiers full")
+}
+
+// Free releases a page. The vacated slot is scrubbed before it becomes
+// allocatable again, so a later Alloc can never leak the previous
+// owner's bytes (the repo-wide scrub-on-free guarantee). If the scrub
+// itself fails the slot is returned to the free list dirty — Alloc
+// re-scrubs it before reuse — and the error is reported.
+func (m *Manager) Free(id PageID) error {
+	m.mu.RLock()
+	st := m.pages[id]
+	m.mu.RUnlock()
+	if st == nil {
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	st.mu.Lock()
+	if st.freed {
+		st.mu.Unlock()
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	st.freed = true
 	t := m.tiers[st.tier]
-	return t, t.used[id], st, nil
+	off := st.off
+	m.mu.Lock()
+	delete(m.pages, id)
+	delete(t.used, id)
+	m.mu.Unlock()
+	st.mu.Unlock()
+	// Scrub outside every lock — the slot is unreachable (not in used,
+	// not yet in free), so nothing can race the zeroing.
+	scrubErr := zeroSlot(t.IO, off)
+	m.mu.Lock()
+	t.free = append(t.free, off)
+	if scrubErr != nil {
+		t.dirty[off] = true
+	}
+	m.mu.Unlock()
+	if scrubErr != nil {
+		return fmt.Errorf("tiering: scrub on free of page %d: %w", id, scrubErr)
+	}
+	return nil
 }
 
-// Read copies from a page, counting the access.
+// lookup fetches a page's state without holding any lock afterwards.
+func (m *Manager) lookup(id PageID) (*pageState, error) {
+	m.mu.RLock()
+	st := m.pages[id]
+	m.mu.RUnlock()
+	if st == nil {
+		return nil, fmt.Errorf("tiering: no page %d", id)
+	}
+	return st, nil
+}
+
+// Read copies from a page, counting the access. Disjoint pages are
+// read in parallel; only a migration of this very page blocks it.
 func (m *Manager) Read(id PageID, p []byte, off int64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if off < 0 || off+int64(len(p)) > PageSize {
 		return fmt.Errorf("tiering: access outside page")
 	}
-	t, base, st, err := m.locate(id)
+	st, err := m.lookup(id)
 	if err != nil {
 		return err
 	}
-	st.accesses++
-	return t.IO.ReadAt(p, base+off)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.freed {
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	st.accesses.Add(1)
+	return m.tiers[st.tier].IO.ReadAt(p, st.off+off)
 }
 
-// Write copies into a page, counting the access.
+// Write copies into a page, counting the access. Disjoint pages are
+// written in parallel; only a migration of this very page blocks it.
 func (m *Manager) Write(id PageID, p []byte, off int64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if off < 0 || off+int64(len(p)) > PageSize {
 		return fmt.Errorf("tiering: access outside page")
 	}
-	t, base, st, err := m.locate(id)
+	st, err := m.lookup(id)
 	if err != nil {
 		return err
 	}
-	st.accesses++
-	return t.IO.WriteAt(p, base+off)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.freed {
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	st.accesses.Add(1)
+	return m.tiers[st.tier].IO.WriteAt(p, st.off+off)
 }
 
 // TierOf reports a page's current tier index (0 = fastest).
 func (m *Manager) TierOf(id PageID) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.pages[id]
-	if !ok {
+	st, err := m.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.freed {
 		return 0, fmt.Errorf("tiering: no page %d", id)
 	}
 	return st.tier, nil
 }
 
-// Heat reports a page's access count since the last Rebalance.
+// Heat reports a page's manager-path access count since the last
+// epoch or Rebalance.
 func (m *Manager) Heat(id PageID) (uint64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.pages[id]
-	if !ok {
-		return 0, fmt.Errorf("tiering: no page %d", id)
+	st, err := m.lookup(id)
+	if err != nil {
+		return 0, err
 	}
-	return st.accesses, nil
+	return st.accesses.Load(), nil
 }
 
 // pagePool recycles migration staging buffers: a Rebalance over a hot
@@ -253,57 +443,212 @@ func pipeCopy(src cxl.MemIO, srcOff int64, dst cxl.MemIO, dstOff int64, n int64,
 	return werr
 }
 
-// migrate physically moves a page between tiers. Caller holds the lock
-// and has verified a free slot exists on dst.
-func (m *Manager) migrate(id PageID, st *pageState, dst int) error {
-	src := m.tiers[st.tier]
-	dstT := m.tiers[dst]
-	srcOff := src.used[id]
-	dstOff := dstT.free[len(dstT.free)-1]
-	bufp := pagePool.Get().(*[]byte)
-	defer pagePool.Put(bufp)
-	if err := pipeCopy(src.IO, srcOff, dstT.IO, dstOff, PageSize, (*bufp)[:2*migrateChunk]); err != nil {
+// MoveTo migrates a page to the given tier (a targeted promotion or
+// demotion — the daemon's per-epoch move primitive). Returns
+// ErrTierFull when the destination has no free slot. Foreground I/O on
+// other pages proceeds during the copy; access to the moving page
+// blocks for its duration.
+func (m *Manager) MoveTo(id PageID, dst int) error {
+	m.migMu.Lock()
+	defer m.migMu.Unlock()
+	return m.moveTo(id, dst)
+}
+
+// moveTo is MoveTo under an already-held migMu.
+func (m *Manager) moveTo(id PageID, dst int) error {
+	if dst < 0 || dst >= len(m.tiers) {
+		return fmt.Errorf("tiering: no tier %d", dst)
+	}
+	st, err := m.lookup(id)
+	if err != nil {
 		return err
 	}
-	dstT.free = dstT.free[:len(dstT.free)-1]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.freed {
+		return fmt.Errorf("tiering: no page %d", id)
+	}
+	if st.tier == dst {
+		return nil
+	}
+	src, dstT := m.tiers[st.tier], m.tiers[dst]
+	srcOff := st.off
+	m.mu.Lock()
+	if len(dstT.free) == 0 {
+		m.mu.Unlock()
+		return ErrTierFull
+	}
+	dstOff, _ := popFreeLocked(dstT) // fully overwritten below
+	m.mu.Unlock()
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	copyErr := pipeCopy(src.IO, srcOff, dstT.IO, dstOff, PageSize, (*bufp)[:2*migrateChunk])
+	m.mu.Lock()
+	if copyErr != nil {
+		// The slot may hold a partial copy: back to the free list dirty.
+		dstT.free = append(dstT.free, dstOff)
+		dstT.dirty[dstOff] = true
+		m.mu.Unlock()
+		return copyErr
+	}
 	dstT.used[id] = dstOff
-	src.free = append(src.free, srcOff)
 	delete(src.used, id)
+	src.free = append(src.free, srcOff)
+	src.dirty[srcOff] = true // vacated slot still holds the page's bytes
 	if dst < st.tier {
 		m.promotions++
 	} else {
 		m.demotions++
 	}
 	m.bytesMigrated += 2 * PageSize
-	st.tier = dst
+	m.mu.Unlock()
+	st.tier, st.off = dst, dstOff
 	return nil
 }
 
-// Rebalance sorts pages by heat and packs the hottest into the fastest
-// tiers, migrating as needed, then resets the heat counters (an epoch-
-// based kernel-style tiering daemon). Returns the number of migrations.
-func (m *Manager) Rebalance() (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	type entry struct {
-		id PageID
-		st *pageState
+// Swap exchanges two pages' backing slots (and contents) across tiers.
+func (m *Manager) Swap(idA, idB PageID) error {
+	m.migMu.Lock()
+	defer m.migMu.Unlock()
+	return m.swap(idA, idB)
+}
+
+// swap exchanges two pages' backing slots (and contents) across tiers:
+// page A is staged whole, then B streams into A's old slot through the
+// double-buffered pipe (read of B's chunk k+1 overlapping the write of
+// chunk k into tier A), and finally the staged A drains into B's slot.
+//
+// Failure atomicity: the staged copy of A is the undo log. If the pipe
+// of B into A's slot fails mid-stream, A's slot holds partial B — the
+// staged A is written back and both pages are exactly as before. If
+// the final drain of A into B's slot fails, B's slot may hold partial
+// A while A's old slot holds a complete B — B is restored from that
+// intact copy, then A from the stage. Only if a restore write itself
+// also fails is the page left torn, and every error is reported.
+//
+// Caller holds migMu.
+func (m *Manager) swap(idA, idB PageID) error {
+	stA, err := m.lookup(idA)
+	if err != nil {
+		return err
 	}
+	stB, err := m.lookup(idB)
+	if err != nil {
+		return err
+	}
+	if stA == stB {
+		return nil
+	}
+	// Lock both placement locks in id order (stable: ids never swap
+	// their states) so concurrent swaps cannot deadlock.
+	first, second := stA, stB
+	if idB < idA {
+		first, second = stB, stA
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if stA.freed {
+		return fmt.Errorf("tiering: no page %d", idA)
+	}
+	if stB.freed {
+		return fmt.Errorf("tiering: no page %d", idB)
+	}
+	tA, tB := m.tiers[stA.tier], m.tiers[stB.tier]
+	offA, offB := stA.off, stB.off
+	bufAp := pagePool.Get().(*[]byte)
+	chunkp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufAp)
+	defer pagePool.Put(chunkp)
+	bufA := *bufAp
+	if err := tA.IO.ReadAt(bufA, offA); err != nil {
+		return err
+	}
+	if err := pipeCopy(tB.IO, offB, tA.IO, offA, PageSize, (*chunkp)[:2*migrateChunk]); err != nil {
+		// A's slot holds partial B; restore A from the stage.
+		if rerr := tA.IO.WriteAt(bufA, offA); rerr != nil {
+			return errors.Join(err, fmt.Errorf("tiering: restoring page %d after failed swap: %w", idA, rerr))
+		}
+		return err
+	}
+	if err := tB.IO.WriteAt(bufA, offB); err != nil {
+		// B's slot may hold partial A; the only intact B now lives in
+		// A's old slot. Copy it home, then restore A from the stage.
+		restore := pipeCopy(tA.IO, offA, tB.IO, offB, PageSize, (*chunkp)[:2*migrateChunk])
+		if restore != nil {
+			restore = fmt.Errorf("tiering: restoring page %d after failed swap: %w", idB, restore)
+		}
+		var restoreA error
+		if rerr := tA.IO.WriteAt(bufA, offA); rerr != nil {
+			restoreA = fmt.Errorf("tiering: restoring page %d after failed swap: %w", idA, rerr)
+		}
+		return errors.Join(err, restore, restoreA)
+	}
+	m.mu.Lock()
+	delete(tA.used, idA)
+	delete(tB.used, idB)
+	tA.used[idB] = offA
+	tB.used[idA] = offB
+	// A swap always moves one page up and one down.
+	m.promotions++
+	m.demotions++
+	m.bytesMigrated += 4 * PageSize
+	m.mu.Unlock()
+	stA.tier, stB.tier = stB.tier, stA.tier
+	stA.off, stB.off = offB, offA
+	return nil
+}
+
+// entry pairs a page with its state for planning walks.
+type entry struct {
+	id PageID
+	st *pageState
+}
+
+// snapshotLocked lists pages deterministically; caller holds m.mu (any
+// mode).
+func (m *Manager) snapshotLocked() []entry {
 	all := make([]entry, 0, len(m.pages))
 	for id, st := range m.pages {
 		all = append(all, entry{id, st})
 	}
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	return all
+}
+
+// Rebalance sorts pages by heat and packs the hottest into the fastest
+// tiers, migrating as needed, then resets the heat counters (a
+// one-shot, full-pack epoch — the Daemon's budgeted epochs are the
+// continuous version). Returns the number of migrations. Foreground
+// I/O may proceed concurrently; pages allocated or freed mid-plan are
+// tolerated (freed pages are skipped, new pages wait for the next
+// epoch).
+func (m *Manager) Rebalance() (int, error) {
+	m.migMu.Lock()
+	defer m.migMu.Unlock()
+	m.mu.RLock()
+	all := m.snapshotLocked()
+	m.mu.RUnlock()
+	type ranked struct {
+		entry
+		heat uint64
+	}
+	rank := make([]ranked, 0, len(all))
+	for _, e := range all {
+		rank = append(rank, ranked{e, e.st.accesses.Load()})
+	}
 	// Hottest first; stable tie-break by id for determinism.
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].st.accesses != all[b].st.accesses {
-			return all[a].st.accesses > all[b].st.accesses
+	sort.Slice(rank, func(a, b int) bool {
+		if rank[a].heat != rank[b].heat {
+			return rank[a].heat > rank[b].heat
 		}
-		return all[a].id < all[b].id
+		return rank[a].id < rank[b].id
 	})
 	// Desired layout: fill tier 0 with the hottest, then tier 1, ...
-	want := make(map[PageID]int, len(all))
+	want := make(map[PageID]int, len(rank))
 	ti, left := 0, m.tiers[0].CapacityPages
-	for _, e := range all {
+	for _, e := range rank {
 		for left == 0 {
 			ti++
 			if ti >= len(m.tiers) {
@@ -313,6 +658,13 @@ func (m *Manager) Rebalance() (int, error) {
 		}
 		want[e.id] = ti
 		left--
+	}
+	// tierOf reads current placement without racing migrations (migMu
+	// is held, so only foreground state like freed can change).
+	tierOf := func(st *pageState) (int, bool) {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		return st.tier, !st.freed
 	}
 	// Route pages to their desired tiers. Plain migrations need a free
 	// slot at the destination; when every tier is exactly full the
@@ -324,17 +676,17 @@ func (m *Manager) Rebalance() (int, error) {
 	for {
 		progress := false
 		done := true
-		for _, e := range all {
-			if want[e.id] == e.st.tier {
+		for _, e := range rank {
+			cur, live := tierOf(e.st)
+			if !live || want[e.id] == cur {
 				continue
 			}
 			done = false
-			if len(m.tiers[want[e.id]].free) > 0 {
-				if err := m.migrate(e.id, e.st, want[e.id]); err != nil {
-					return migrations, err
-				}
+			if err := m.moveTo(e.id, want[e.id]); err == nil {
 				migrations++
 				progress = true
+			} else if !errors.Is(err, ErrTierFull) {
+				return migrations, err
 			}
 		}
 		if done {
@@ -345,15 +697,17 @@ func (m *Manager) Rebalance() (int, error) {
 		}
 		// No free slots anywhere along the desired routes: swap.
 		swapped := false
-		for _, e := range all {
-			if want[e.id] == e.st.tier {
+		for _, e := range rank {
+			cur, live := tierOf(e.st)
+			if !live || want[e.id] == cur {
 				continue
 			}
-			for _, f := range all {
-				if f.id == e.id || f.st.tier != want[e.id] || want[f.id] == f.st.tier {
+			for _, f := range rank {
+				fcur, flive := tierOf(f.st)
+				if !flive || f.id == e.id || fcur != want[e.id] || want[f.id] == fcur {
 					continue
 				}
-				if err := m.swap(e.id, e.st, f.id, f.st); err != nil {
+				if err := m.swap(e.id, f.id); err != nil {
 					return migrations, err
 				}
 				migrations += 2
@@ -369,43 +723,9 @@ func (m *Manager) Rebalance() (int, error) {
 		}
 	}
 	for _, e := range all {
-		e.st.accesses = 0
+		e.st.accesses.Store(0)
 	}
 	return migrations, nil
-}
-
-// swap exchanges two pages' backing slots (and contents) across tiers:
-// page A is staged whole, then B streams into A's old slot through the
-// double-buffered pipe (read of B's chunk k+1 overlapping the write of
-// chunk k into tier A), and finally the staged A drains into B's slot.
-// Caller holds the lock.
-func (m *Manager) swap(idA PageID, stA *pageState, idB PageID, stB *pageState) error {
-	tA, tB := m.tiers[stA.tier], m.tiers[stB.tier]
-	offA, offB := tA.used[idA], tB.used[idB]
-	bufAp := pagePool.Get().(*[]byte)
-	chunkp := pagePool.Get().(*[]byte)
-	defer pagePool.Put(bufAp)
-	defer pagePool.Put(chunkp)
-	bufA := *bufAp
-	if err := tA.IO.ReadAt(bufA, offA); err != nil {
-		return err
-	}
-	if err := pipeCopy(tB.IO, offB, tA.IO, offA, PageSize, (*chunkp)[:2*migrateChunk]); err != nil {
-		return err
-	}
-	if err := tB.IO.WriteAt(bufA, offB); err != nil {
-		return err
-	}
-	delete(tA.used, idA)
-	delete(tB.used, idB)
-	tA.used[idB] = offA
-	tB.used[idA] = offB
-	stA.tier, stB.tier = stB.tier, stA.tier
-	// A swap always moves one page up and one down.
-	m.promotions++
-	m.demotions++
-	m.bytesMigrated += 4 * PageSize
-	return nil
 }
 
 // Stats summarises migration activity.
@@ -418,8 +738,8 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s := Stats{
 		Promotions:    m.promotions,
 		Demotions:     m.demotions,
@@ -437,15 +757,22 @@ func (m *Manager) Stats() Stats {
 // tier's latency from core c. This is the figure of merit the hybrid
 // architecture optimises.
 func (m *Manager) AvgAccessLatency(machine *topology.Machine, c topology.Core) (units.Latency, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	all := m.snapshotLocked()
+	m.mu.RUnlock()
 	var weighted, total float64
-	for _, st := range m.pages {
-		lat, err := machine.AccessLatency(c, m.tiers[st.tier].Node.ID)
+	for _, e := range all {
+		e.st.mu.RLock()
+		tier, freed := e.st.tier, e.st.freed
+		e.st.mu.RUnlock()
+		if freed {
+			continue
+		}
+		lat, err := machine.AccessLatency(c, m.tiers[tier].Node.ID)
 		if err != nil {
 			return 0, err
 		}
-		w := float64(st.accesses)
+		w := float64(e.st.accesses.Load())
 		if w == 0 {
 			w = 0.01 // cold pages still count slightly
 		}

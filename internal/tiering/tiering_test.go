@@ -52,7 +52,7 @@ func TestHierarchyBuilder(t *testing.T) {
 	}
 }
 
-func TestAllocFirstTouchPlacement(t *testing.T) {
+func TestAllocColdStartPlacement(t *testing.T) {
 	mgr, _ := hierarchy(t, 2, 2, 2)
 	var ids []PageID
 	for i := 0; i < 6; i++ {
@@ -62,8 +62,10 @@ func TestAllocFirstTouchPlacement(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	// First two pages on tier 0, next two on tier 1, last two on 2.
-	want := []int{0, 0, 1, 1, 2, 2}
+	// Cold start: new pages land in the far tier first and earn their
+	// way up — the slowest tier fills before anything touches a faster
+	// one.
+	want := []int{2, 2, 1, 1, 0, 0}
 	for i, id := range ids {
 		tier, err := mgr.TierOf(id)
 		if err != nil {
@@ -84,11 +86,26 @@ func TestAllocFirstTouchPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tier, _ := mgr.TierOf(id); tier != 0 {
-		t.Errorf("freed fast slot not reused: tier %d", tier)
+	if tier, _ := mgr.TierOf(id); tier != 2 {
+		t.Errorf("freed far slot not reused: tier %d", tier)
 	}
 	if err := mgr.Free(99); err == nil {
 		t.Error("free of unknown page accepted")
+	}
+}
+
+func TestAllocFastFirstPolicy(t *testing.T) {
+	mgr, _ := hierarchy(t, 1, 1, 1)
+	mgr.SetAllocPolicy(AllocFastFirst)
+	want := []int{0, 1, 2}
+	for i := 0; i < 3; i++ {
+		id, err := mgr.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier, _ := mgr.TierOf(id); tier != want[i] {
+			t.Errorf("page %d on tier %d, want %d", id, tier, want[i])
+		}
 	}
 }
 
@@ -126,17 +143,17 @@ func TestReadWriteAndHeat(t *testing.T) {
 
 func TestRebalancePromotesHotDemotesCold(t *testing.T) {
 	mgr, _ := hierarchy(t, 1, 1, 1)
-	a, _ := mgr.Alloc() // lands tier 0
+	a, _ := mgr.Alloc() // cold start: lands tier 2
 	b, _ := mgr.Alloc() // tier 1
-	c, _ := mgr.Alloc() // tier 2
-	// Make c hot, a cold, b warm; write distinct content to verify
-	// migration moves the bytes.
-	if err := mgr.Write(c, []byte("hot-data"), 0); err != nil {
+	c, _ := mgr.Alloc() // tier 0
+	// Make a (far-resident) hot, c cold, b warm; write distinct content
+	// to verify migration moves the bytes.
+	if err := mgr.Write(a, []byte("hot-data"), 0); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 8)
 	for i := 0; i < 30; i++ {
-		if err := mgr.Read(c, buf, 0); err != nil {
+		if err := mgr.Read(a, buf, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -145,7 +162,7 @@ func TestRebalancePromotesHotDemotesCold(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// a untouched.
+	// c untouched.
 	n, err := mgr.Rebalance()
 	if err != nil {
 		t.Fatal(err)
@@ -156,21 +173,21 @@ func TestRebalancePromotesHotDemotesCold(t *testing.T) {
 	ta, _ := mgr.TierOf(a)
 	tb, _ := mgr.TierOf(b)
 	tc, _ := mgr.TierOf(c)
-	if tc != 0 {
-		t.Errorf("hot page on tier %d, want 0", tc)
+	if ta != 0 {
+		t.Errorf("hot page on tier %d, want 0", ta)
 	}
 	if tb != 1 {
 		t.Errorf("warm page on tier %d, want 1", tb)
 	}
-	if ta != 2 {
-		t.Errorf("cold page on tier %d, want 2", ta)
+	if tc != 2 {
+		t.Errorf("cold page on tier %d, want 2", tc)
 	}
 	// Heat resets after rebalance (checked before any further access).
-	if h, _ := mgr.Heat(c); h != 0 {
+	if h, _ := mgr.Heat(a); h != 0 {
 		t.Errorf("heat after rebalance = %d", h)
 	}
 	// Content followed the page.
-	if err := mgr.Read(c, buf, 0); err != nil {
+	if err := mgr.Read(a, buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf) != "hot-data" {
@@ -191,7 +208,8 @@ func TestRebalanceReducesAvgLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Fill all six pages; make the two dcpmm-resident ones hottest.
+	// Fill all six pages; make the two dcpmm-resident ones (cold-start
+	// places the first allocations there) hottest.
 	var ids []PageID
 	for i := 0; i < 6; i++ {
 		id, err := mgr.Alloc()
@@ -201,7 +219,7 @@ func TestRebalanceReducesAvgLatency(t *testing.T) {
 		ids = append(ids, id)
 	}
 	buf := make([]byte, 8)
-	for _, id := range ids[4:] { // the cold-tier pages
+	for _, id := range ids[:2] { // the cold-tier pages
 		for i := 0; i < 50; i++ {
 			if err := mgr.Read(id, buf, 0); err != nil {
 				t.Fatal(err)
@@ -217,7 +235,7 @@ func TestRebalanceReducesAvgLatency(t *testing.T) {
 	}
 	// Re-apply the same access pattern to the (now fast-resident)
 	// hot pages and re-measure.
-	for _, id := range ids[4:] {
+	for _, id := range ids[:2] {
 		for i := 0; i < 50; i++ {
 			if err := mgr.Read(id, buf, 0); err != nil {
 				t.Fatal(err)
@@ -324,13 +342,22 @@ func TestMigrationUsesPooledScratch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := mgr.pages[id]
 	// Warm up: materialise the media pages on both sides and seed the
-	// scratch pool.
-	if err := mgr.migrate(id, st, 1); err != nil {
+	// scratch pool (the swap path below needs two pooled buffers).
+	if err := mgr.MoveTo(id, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.migrate(id, st, 0); err != nil {
+	if err := mgr.MoveTo(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := mgr.Alloc() // cold start: lands tier 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Swap(id, id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Swap(id, id2); err != nil {
 		t.Fatal(err)
 	}
 	before := mgr.bytesMigrated
@@ -338,7 +365,11 @@ func TestMigrationUsesPooledScratch(t *testing.T) {
 	runtime.ReadMemStats(&ms0)
 	const moves = 8
 	for i := 0; i < moves; i++ {
-		if err := mgr.migrate(id, st, 1-st.tier); err != nil {
+		cur, err := mgr.TierOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.MoveTo(id, 1-cur); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -352,16 +383,13 @@ func TestMigrationUsesPooledScratch(t *testing.T) {
 		t.Errorf("%d bytes allocated across %d migrations, want < one page", grown, moves)
 	}
 	// The swap path shares the pool and keeps its 4-page accounting.
-	id2, err := mgr.Alloc()
-	if err != nil {
-		t.Fatal(err)
-	}
-	st2 := mgr.pages[id2]
-	if st2.tier == st.tier {
+	t1, _ := mgr.TierOf(id)
+	t2, _ := mgr.TierOf(id2)
+	if t1 == t2 {
 		t.Fatal("test setup: pages landed on the same tier")
 	}
 	before = mgr.bytesMigrated
-	if err := mgr.swap(id, st, id2, st2); err != nil {
+	if err := mgr.Swap(id, id2); err != nil {
 		t.Fatal(err)
 	}
 	if got := mgr.bytesMigrated - before; got != 4*PageSize {
